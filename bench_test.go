@@ -1,0 +1,179 @@
+// Package-level benchmarks: one testing.B benchmark per table/figure of the
+// paper's evaluation (driving the experiment runners at reduced scale), plus
+// micro-benchmarks of the substrates and ablation benchmarks for the design
+// choices called out in DESIGN.md (emission multiplexing, the min_time
+// guard, dense vs closed-form optical sampling, DQP windowing).
+//
+// Run with: go test -bench=. -benchmem
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/egp"
+	"repro/internal/experiments"
+	"repro/internal/nv"
+	"repro/internal/photonics"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchOptions keeps every experiment benchmark short enough for routine
+// benchmarking while still exercising the full protocol stack.
+func benchOptions() experiments.Options {
+	opt := experiments.QuickOptions()
+	opt.SimulatedSeconds = 0.5
+	return opt
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	runner, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i + 1)
+		tables := runner.Run(opt)
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("experiment produced no data")
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure -------------------------------
+
+func BenchmarkFig8Validation(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9Decoherence(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkFig6Tradeoffs(b *testing.B)    { runExperiment(b, "fig6a") }
+func BenchmarkFig6Fidelity(b *testing.B)     { runExperiment(b, "fig6bc") }
+func BenchmarkTable5Robustness(b *testing.B) { runExperiment(b, "table5") }
+func BenchmarkSec62Metrics(b *testing.B)     { runExperiment(b, "metrics") }
+func BenchmarkTable1Scheduling(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable3Mixed(b *testing.B)      { runExperiment(b, "table3") }
+func BenchmarkTable4Mixed(b *testing.B)      { runExperiment(b, "table4") }
+
+// --- Protocol-stack throughput benchmarks --------------------------------
+
+// benchmarkScenario runs the full stack for a fixed simulated duration and
+// reports delivered pairs per wall-second of benchmarking.
+func benchmarkScenario(b *testing.B, scenario nv.ScenarioID, priority int, multiplex bool, minTimeMargin uint64) {
+	b.Helper()
+	b.ReportAllocs()
+	pairs := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(scenario)
+		cfg.Seed = int64(i + 1)
+		cfg.EmissionMultiplexing = multiplex
+		cfg.MinTimeMarginCycles = minTimeMargin
+		net := core.NewNetwork(cfg)
+		gen := workload.NewGenerator(net, workload.OriginRandom, workload.SingleKind(priority, workload.LoadUltra, 3))
+		net.Start()
+		gen.Start()
+		net.Run(sim.DurationSeconds(0.5))
+		gen.Stop()
+		pairs += net.Collector.OKCount(priority)
+	}
+	b.ReportMetric(float64(pairs)/float64(b.N), "pairs/run")
+}
+
+func BenchmarkLabMeasureDirectly(b *testing.B) {
+	benchmarkScenario(b, nv.ScenarioLab, egp.PriorityMD, true, 0)
+}
+
+func BenchmarkLabCreateKeep(b *testing.B) {
+	benchmarkScenario(b, nv.ScenarioLab, egp.PriorityCK, true, 0)
+}
+
+func BenchmarkQL2020MeasureDirectly(b *testing.B) {
+	benchmarkScenario(b, nv.ScenarioQL2020, egp.PriorityMD, true, 0)
+}
+
+func BenchmarkQL2020CreateKeep(b *testing.B) {
+	benchmarkScenario(b, nv.ScenarioQL2020, egp.PriorityCK, true, 0)
+}
+
+// --- Ablation benchmarks (design choices from DESIGN.md) -----------------
+
+// Emission multiplexing on vs off for the MD use case on QL2020, where reply
+// latency (145 µs) far exceeds the attempt cycle (10.12 µs).
+func BenchmarkAblationMultiplexingOn(b *testing.B) {
+	benchmarkScenario(b, nv.ScenarioQL2020, egp.PriorityMD, true, 0)
+}
+
+func BenchmarkAblationMultiplexingOff(b *testing.B) {
+	benchmarkScenario(b, nv.ScenarioQL2020, egp.PriorityMD, false, 0)
+}
+
+// min_time guard widened by 1000 cycles vs the propagation-derived default.
+func BenchmarkAblationMinTimeDefault(b *testing.B) {
+	benchmarkScenario(b, nv.ScenarioLab, egp.PriorityMD, true, 0)
+}
+
+func BenchmarkAblationMinTimeWide(b *testing.B) {
+	benchmarkScenario(b, nv.ScenarioLab, egp.PriorityMD, true, 1000)
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+func BenchmarkDenseOpticalAttempt(b *testing.B) {
+	platform := nv.LabPlatform()
+	rng := sim.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		platform.Optics.Attempt(0.3, 0.3, rng)
+	}
+}
+
+func BenchmarkCachedOpticalSample(b *testing.B) {
+	platform := nv.LabPlatform()
+	sampler := photonics.NewLinkSampler(platform.Optics)
+	rng := sim.NewRNG(1)
+	sampler.Sample(0.3, 0.3, rng) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampler.Sample(0.3, 0.3, rng)
+	}
+}
+
+func BenchmarkTwoQubitKraus(b *testing.B) {
+	kraus := quantum.DephasingKraus(0.1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := quantum.NewBellState(quantum.PsiPlus)
+		s.ApplyKraus(kraus, 0)
+	}
+}
+
+func BenchmarkFourQubitPartialTrace(b *testing.B) {
+	bell := quantum.NewBellState(quantum.PsiPlus)
+	joint := bell.Tensor(quantum.NewBellState(quantum.PhiPlus))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		joint.PartialTrace(1, 3)
+	}
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(1)
+		count := 0
+		s.Ticker(10*sim.Microsecond, func() { count++ })
+		_ = s.RunFor(100 * sim.Millisecond)
+	}
+}
+
+func BenchmarkMemoryDecoherence(b *testing.B) {
+	params := quantum.T1T2Params{T1: 2.86e-3, T2: 1e-3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := quantum.NewBellState(quantum.PsiPlus)
+		quantum.ApplyMemoryNoise(s, 0, 0.5e-3, params)
+	}
+}

@@ -1,0 +1,61 @@
+// Command benchsuite regenerates the paper's evaluation tables and figures
+// from the reproduced system. Each runner corresponds to one table or figure
+// (see DESIGN.md's per-experiment index); the output is plain-text tables
+// whose rows mirror the series the paper reports.
+//
+// Examples:
+//
+//	benchsuite -list
+//	benchsuite -run fig8
+//	benchsuite -run all -seconds 8 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment to run (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		seconds = flag.Float64("seconds", 6, "simulated seconds per protocol scenario")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		quick   = flag.Bool("quick", false, "reduced sweep resolution for a fast smoke run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.Name, r.Description)
+		}
+		return
+	}
+
+	opt := experiments.Options{SimulatedSeconds: *seconds, Seed: *seed, Quick: *quick}
+
+	var runners []experiments.Runner
+	if *run == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.ByName(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		fmt.Printf("# %s — %s\n", r.Name, r.Description)
+		for _, table := range r.Run(opt) {
+			fmt.Println(table.String())
+		}
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", r.Name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,59 @@
+// Command qnetinfo prints the hardware platform parameters of the evaluated
+// scenarios: the NV gate/coherence table, the MHP cycle timings, the optical
+// link characteristics and the derived quantities (success probability and
+// expected fidelity as a function of the bright-state population) that the
+// link layer's fidelity estimation unit works from.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/classical"
+	"repro/internal/nv"
+	"repro/internal/photonics"
+)
+
+func main() {
+	scenario := flag.String("scenario", "both", "Lab, QL2020 or both")
+	flag.Parse()
+
+	var ids []nv.ScenarioID
+	switch *scenario {
+	case "Lab", "lab":
+		ids = []nv.ScenarioID{nv.ScenarioLab}
+	case "QL2020", "ql2020":
+		ids = []nv.ScenarioID{nv.ScenarioQL2020}
+	default:
+		ids = []nv.ScenarioID{nv.ScenarioLab, nv.ScenarioQL2020}
+	}
+
+	for _, id := range ids {
+		p := nv.NewPlatform(id)
+		sampler := photonics.NewLinkSampler(p.Optics)
+		fmt.Printf("=== %s ===\n", id)
+		fmt.Printf("memory qubits per node:   %d\n", p.MemoryQubits)
+		fmt.Printf("MHP cycle (M / K):        %v / %v\n", p.CycleTime[nv.RequestMeasure], p.CycleTime[nv.RequestKeep])
+		fmt.Printf("attempt duration (M / K): %v / %v\n", p.AttemptDuration[nv.RequestMeasure], p.AttemptDuration[nv.RequestKeep])
+		fmt.Printf("expected cycles/attempt:  M=%.1f K=%.1f\n", p.ExpectedCyclesPerAttempt[nv.RequestMeasure], p.ExpectedCyclesPerAttempt[nv.RequestKeep])
+		fmt.Printf("comm delay A-H / B-H:     %v / %v\n", p.CommDelayAH, p.CommDelayBH)
+		g := p.Gates
+		fmt.Printf("electron T1/T2:           %.3g s / %.3g s\n", g.ElectronT1, g.ElectronT2)
+		fmt.Printf("carbon T1/T2:             %.3g s / %.3g s\n", g.CarbonT1, g.CarbonT2)
+		fmt.Printf("electron init:            %v (F=%.3f)\n", g.ElectronInit.Duration, g.ElectronInit.Fidelity)
+		fmt.Printf("carbon init:              %v (F=%.3f)\n", g.CarbonInit.Duration, g.CarbonInit.Fidelity)
+		fmt.Printf("E-C controlled-sqrt(X):   %v (F=%.3f)\n", g.ECControlledSqrtX.Duration, g.ECControlledSqrtX.Fidelity)
+		fmt.Printf("move to carbon:           %v (F=%.3f)\n", g.MoveToCarbon.Duration, g.MoveToCarbon.Fidelity)
+		fmt.Printf("electron readout:         %v (F0=%.3f F1=%.3f)\n", g.ElectronReadout.Duration, g.ElectronReadout.Fidelity0, g.ElectronReadout.Fidelity1)
+		fmt.Printf("fibre loss A / B:         %.3f / %.3f\n", p.Optics.FiberA.TransmissionLossProb(), p.Optics.FiberB.TransmissionLossProb())
+		fmt.Printf("photon visibility:        %.2f\n", p.Optics.Visibility)
+		fmt.Println("alpha -> expected fidelity / herald success probability:")
+		for _, alpha := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+			fmt.Printf("  alpha=%.2f  F=%.4f  psucc=%.3e\n", alpha,
+				sampler.ExpectedSuccessFidelity(alpha, alpha),
+				p.SuccessProbability(sampler, alpha))
+		}
+		budget := classical.DefaultLinkBudget(p.Optics.FiberA.LengthKM+p.Optics.FiberB.LengthKM, 0)
+		fmt.Printf("classical link margin:    %.1f dB, frame error %.2e\n\n", budget.MarginDB(), budget.FrameErrorProbability())
+	}
+}

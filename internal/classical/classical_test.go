@@ -1,0 +1,231 @@
+package classical
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLinkBudgetArithmetic(t *testing.T) {
+	b := DefaultLinkBudget(15, 0)
+	// 15·0.5 + 2·0.7 + 0 + 3 = 11.9 dB total loss.
+	if math.Abs(b.TotalLossDB()-11.9) > 1e-9 {
+		t.Fatalf("total loss = %v, want 11.9", b.TotalLossDB())
+	}
+	if math.Abs(b.ReceivedPowerDBm()-(-12.9)) > 1e-9 {
+		t.Fatalf("received power = %v, want -12.9", b.ReceivedPowerDBm())
+	}
+	if math.Abs(b.MarginDB()-11.1) > 1e-9 {
+		t.Fatalf("margin = %v, want 11.1", b.MarginDB())
+	}
+}
+
+func TestFrameErrorNegligibleAtPaperDistances(t *testing.T) {
+	// The appendix finds a "perfect frame error probability" (no errors) for
+	// 15 km and 20 km links with no splices.
+	for _, km := range []float64{15, 20} {
+		b := DefaultLinkBudget(km, 0)
+		if p := b.FrameErrorProbability(); p > 1e-12 {
+			t.Errorf("%v km: frame error %v, want ≈0", km, p)
+		}
+	}
+}
+
+func TestFrameErrorHighlySplicedCase(t *testing.T) {
+	// 30 splices at 0.3 dB over 15 km: the appendix quotes a very low but
+	// non-zero probability (≈4×10⁻⁸ order of magnitude).
+	b := DefaultLinkBudget(15, 30)
+	p := b.FrameErrorProbability()
+	if p <= 0 || p > 1e-4 {
+		t.Fatalf("spliced-link frame error = %v, want small but positive", p)
+	}
+	// CRC-escaping errors must be utterly negligible (≈10⁻²³).
+	if crc := b.UndetectedCRCErrorProbability(); crc > 1e-18 {
+		t.Fatalf("undetected CRC error probability too high: %v", crc)
+	}
+}
+
+func TestFrameErrorDisconnectsAtLongDistance(t *testing.T) {
+	// Beyond roughly 40 km the link budget collapses and the interface is
+	// effectively disconnected (frame error → 1).
+	b := DefaultLinkBudget(60, 0)
+	if p := b.FrameErrorProbability(); p < 0.9 {
+		t.Fatalf("60 km frame error = %v, want ≈1", p)
+	}
+}
+
+func TestFrameErrorMonotoneInDistance(t *testing.T) {
+	prev := -1.0
+	for km := 1.0; km <= 60; km += 1 {
+		p := DefaultLinkBudget(km, 0).FrameErrorProbability()
+		if p < prev-1e-15 {
+			t.Fatalf("frame error decreased with distance at %v km", km)
+		}
+		prev = p
+	}
+}
+
+func TestChannelDeliveryDelay(t *testing.T) {
+	s := sim.New(1)
+	var deliveredAt sim.Time
+	var got any
+	ch := NewChannel("test", s, 100*sim.Microsecond, 0, func(m Message) {
+		deliveredAt = s.Now()
+		got = m.Payload
+	})
+	s.Schedule(0, func() { ch.Send("hello") })
+	_ = s.Run()
+	if got != "hello" {
+		t.Fatalf("payload = %v", got)
+	}
+	if deliveredAt != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("delivered at %v, want 100µs", deliveredAt)
+	}
+}
+
+func TestChannelOrdering(t *testing.T) {
+	s := sim.New(1)
+	var order []int
+	ch := NewChannel("test", s, 10*sim.Microsecond, 0, func(m Message) {
+		order = append(order, m.Payload.(int))
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(sim.Duration(i)*sim.Microsecond, func() { ch.Send(i) })
+	}
+	_ = s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("messages reordered: %v", order)
+		}
+	}
+}
+
+func TestChannelLoss(t *testing.T) {
+	s := sim.New(42)
+	received := 0
+	ch := NewChannel("lossy", s, 0, 0.5, func(Message) { received++ })
+	const n = 10000
+	s.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			ch.Send(i)
+		}
+	})
+	_ = s.Run()
+	sent, delivered, dropped := ch.Stats()
+	if sent != n || delivered+dropped != n {
+		t.Fatalf("stats inconsistent: %d %d %d", sent, delivered, dropped)
+	}
+	rate := float64(received) / n
+	if math.Abs(rate-0.5) > 0.03 {
+		t.Fatalf("loss rate off: received %v", rate)
+	}
+}
+
+func TestChannelNoLossDeliversEverything(t *testing.T) {
+	s := sim.New(1)
+	received := 0
+	ch := NewChannel("perfect", s, 5, 0, func(Message) { received++ })
+	s.Schedule(0, func() {
+		for i := 0; i < 1000; i++ {
+			ch.Send(i)
+		}
+	})
+	_ = s.Run()
+	if received != 1000 {
+		t.Fatalf("received %d of 1000", received)
+	}
+}
+
+func TestSetLossProbability(t *testing.T) {
+	s := sim.New(1)
+	ch := NewChannel("mutable", s, 0, 0, func(Message) {})
+	ch.SetLossProbability(1)
+	if ch.LossProbability() != 1 {
+		t.Fatal("loss probability not updated")
+	}
+	s.Schedule(0, func() { ch.Send(1) })
+	_ = s.Run()
+	_, delivered, dropped := ch.Stats()
+	if delivered != 0 || dropped != 1 {
+		t.Fatalf("expected the frame to drop, got delivered=%d dropped=%d", delivered, dropped)
+	}
+}
+
+func TestDuplex(t *testing.T) {
+	s := sim.New(1)
+	var atA, atB []any
+	d := NewDuplex("pair", s, 10, 0,
+		func(m Message) { atB = append(atB, m.Payload) },
+		func(m Message) { atA = append(atA, m.Payload) })
+	s.Schedule(0, func() {
+		d.AtoB.Send("to-b")
+		d.BtoA.Send("to-a")
+	})
+	_ = s.Run()
+	if len(atB) != 1 || atB[0] != "to-b" {
+		t.Fatalf("B received %v", atB)
+	}
+	if len(atA) != 1 || atA[0] != "to-a" {
+		t.Fatalf("A received %v", atA)
+	}
+	d.SetLossProbability(1)
+	if d.AtoB.LossProbability() != 1 || d.BtoA.LossProbability() != 1 {
+		t.Fatal("duplex loss probability not applied to both directions")
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	s := sim.New(1)
+	assertPanics(t, "bad loss", func() { NewChannel("x", s, 0, 2, func(Message) {}) })
+	assertPanics(t, "nil handler", func() { NewChannel("x", s, 0, 0, nil) })
+	ch := NewChannel("x", s, 0, 0, func(Message) {})
+	assertPanics(t, "bad set", func() { ch.SetLossProbability(-0.1) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// Property: frame error probabilities are always valid probabilities and
+// adding splices never improves the link.
+func TestPropertyFrameErrorBounds(t *testing.T) {
+	f := func(km float64, splices uint8) bool {
+		km = math.Mod(math.Abs(km), 80)
+		s := int(splices % 40)
+		p0 := DefaultLinkBudget(km, s).FrameErrorProbability()
+		p1 := DefaultLinkBudget(km, s+5).FrameErrorProbability()
+		return p0 >= 0 && p0 <= 1 && p1+1e-15 >= p0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a lossless channel delivers exactly as many messages as sent.
+func TestPropertyLosslessConservation(t *testing.T) {
+	f := func(count uint8) bool {
+		s := sim.New(7)
+		received := 0
+		ch := NewChannel("p", s, 3, 0, func(Message) { received++ })
+		n := int(count%50) + 1
+		s.Schedule(0, func() {
+			for i := 0; i < n; i++ {
+				ch.Send(i)
+			}
+		})
+		_ = s.Run()
+		return received == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

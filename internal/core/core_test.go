@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/egp"
+	"repro/internal/nv"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// submitAt schedules a request submission at a given simulated time.
+func submitAt(n *Network, at sim.Duration, origin string, req egp.CreateRequest) {
+	n.Sim.Schedule(at, func() { n.Submit(origin, req) })
+}
+
+func TestLabMeasureDirectlyDeliversPairs(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	cfg.Seed = 7
+	n := NewNetwork(cfg)
+	submitAt(n, 0, NodeA, egp.CreateRequest{
+		NumPairs:    5,
+		Keep:        false,
+		MinFidelity: 0.6,
+		Priority:    egp.PriorityMD,
+		PurposeID:   1,
+	})
+	n.Run(3 * sim.Second)
+
+	if len(n.OKs) == 0 {
+		t.Fatal("no OKs delivered for an MD request in 3 s of Lab time")
+	}
+	// The origin node should have recorded 5 delivered pairs and completed
+	// the request.
+	if got := n.Collector.OKCount(egp.PriorityMD); got != 5 {
+		t.Fatalf("expected 5 MD pairs at the origin, got %d", got)
+	}
+	if n.Collector.RequestLatency(egp.PriorityMD).Count() != 1 {
+		t.Fatal("request should have completed")
+	}
+	if n.Collector.OutstandingRequests() != 0 {
+		t.Fatal("no requests should remain outstanding")
+	}
+	// Both nodes deliver OKs (the peer also passes entanglement upwards).
+	var fromA, fromB int
+	for _, ok := range n.OKs {
+		if ok.Node == NodeA {
+			fromA++
+		} else {
+			fromB++
+		}
+		if ok.Keep {
+			t.Fatal("MD request should produce measure OKs")
+		}
+		if ok.MeasureOutcome != 0 && ok.MeasureOutcome != 1 {
+			t.Fatalf("invalid measurement outcome %d", ok.MeasureOutcome)
+		}
+	}
+	if fromA == 0 || fromB == 0 {
+		t.Fatalf("both nodes should issue OKs, got A=%d B=%d", fromA, fromB)
+	}
+}
+
+func TestLabKeepDeliversEntangledPairs(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	cfg.Seed = 11
+	n := NewNetwork(cfg)
+	submitAt(n, 0, NodeA, egp.CreateRequest{
+		NumPairs:    3,
+		Keep:        true,
+		MinFidelity: 0.6,
+		Priority:    egp.PriorityCK,
+		PurposeID:   2,
+	})
+	n.Run(4 * sim.Second)
+
+	if got := n.Collector.OKCount(egp.PriorityCK); got != 3 {
+		t.Fatalf("expected 3 CK pairs, got %d", got)
+	}
+	fid := n.Collector.Fidelity(egp.PriorityCK)
+	if fid.Count() != 3 {
+		t.Fatalf("expected 3 fidelity samples, got %d", fid.Count())
+	}
+	if fid.Mean() < 0.6 {
+		t.Fatalf("mean delivered fidelity %v below the requested minimum", fid.Mean())
+	}
+	if fid.Mean() > 0.95 {
+		t.Fatalf("mean delivered fidelity %v implausibly high for this hardware", fid.Mean())
+	}
+	// K pairs report where the qubit was stored.
+	sawMemory := false
+	for _, ok := range n.OKs {
+		if ok.Keep && ok.LogicalQubit != nv.CommQubitID {
+			sawMemory = true
+		}
+	}
+	if !sawMemory {
+		t.Fatal("expected at least one pair moved to a memory qubit")
+	}
+}
+
+func TestRequestFromSlaveNode(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	cfg.Seed = 13
+	n := NewNetwork(cfg)
+	submitAt(n, 0, NodeB, egp.CreateRequest{
+		NumPairs:    2,
+		Keep:        false,
+		MinFidelity: 0.6,
+		Priority:    egp.PriorityMD,
+	})
+	n.Run(3 * sim.Second)
+	if got := n.Collector.OKCount(egp.PriorityMD); got != 2 {
+		t.Fatalf("expected 2 pairs for a slave-originated request, got %d", got)
+	}
+	// The origin-side metrics must be attributed to B.
+	if n.Collector.PairsByOrigin()[NodeB] != 2 {
+		t.Fatalf("pairs should be attributed to origin B: %v", n.Collector.PairsByOrigin())
+	}
+}
+
+func TestUnsupportedFidelityRejected(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	n := NewNetwork(cfg)
+	n.Start()
+	_, code := n.Submit(NodeA, egp.CreateRequest{
+		NumPairs:    1,
+		Keep:        true,
+		MinFidelity: 0.99, // unreachable on this hardware
+		Priority:    egp.PriorityCK,
+	})
+	if code != wire.ErrUnsupported {
+		t.Fatalf("expected UNSUPP, got %v", code)
+	}
+	if len(n.Errors) != 1 || n.Errors[0].Code != wire.ErrUnsupported {
+		t.Fatalf("expected an UNSUPP error event, got %+v", n.Errors)
+	}
+}
+
+func TestUnsupportedTimeRejected(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	n := NewNetwork(cfg)
+	n.Start()
+	_, code := n.Submit(NodeA, egp.CreateRequest{
+		NumPairs:    100,
+		Keep:        true,
+		MinFidelity: 0.6,
+		MaxTime:     1 * sim.Millisecond, // impossible deadline
+		Priority:    egp.PriorityCK,
+	})
+	if code != wire.ErrUnsupported {
+		t.Fatalf("expected UNSUPP for impossible deadline, got %v", code)
+	}
+}
+
+func TestAtomicMemoryExceeded(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	n := NewNetwork(cfg)
+	n.Start()
+	_, code := n.Submit(NodeA, egp.CreateRequest{
+		NumPairs:    10, // far more than 1 comm + 1 memory qubit
+		Keep:        true,
+		Atomic:      true,
+		MinFidelity: 0.6,
+		Priority:    egp.PriorityCK,
+	})
+	if code != wire.ErrMemExceeded {
+		t.Fatalf("expected MEMEXCEEDED, got %v", code)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	cfg.Seed = 17
+	n := NewNetwork(cfg)
+	// A deadline long enough to pass the FEU feasibility estimate for one
+	// pair but too short for 40 pairs in practice is hard to construct
+	// reliably; instead use a feasible estimate and verify the TIMEOUT path
+	// by asking for many pairs with a deadline close to the estimate for
+	// far fewer.
+	submitAt(n, 0, NodeA, egp.CreateRequest{
+		NumPairs:    30,
+		Keep:        false,
+		MinFidelity: 0.6,
+		MaxTime:     4 * sim.Second,
+		Priority:    egp.PriorityMD,
+	})
+	n.Run(6 * sim.Second)
+	timedOut := n.Collector.ErrorCount("TIMEOUT")
+	completed := n.Collector.RequestLatency(egp.PriorityMD).Count()
+	if timedOut+completed == 0 {
+		t.Fatal("request should either complete or time out")
+	}
+}
+
+func TestQBERAccountingForMD(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	cfg.Seed = 23
+	n := NewNetwork(cfg)
+	submitAt(n, 0, NodeA, egp.CreateRequest{
+		NumPairs:    80,
+		Keep:        false,
+		MinFidelity: 0.6,
+		Priority:    egp.PriorityMD,
+	})
+	n.Run(30 * sim.Second)
+	q := n.Collector.QBER(egp.PriorityMD)
+	if q == nil || q.Samples() < 40 {
+		t.Fatalf("MD runs should accumulate QBER samples, got %d", q.Samples())
+	}
+	// The QBER-derived estimate must land in a physically sensible band:
+	// well above random correlations and consistent with the heralded
+	// fidelity (~0.65) minus readout noise, with sampling slack.
+	est := q.FidelityEstimate()
+	if est < 0.35 || est > 0.9 {
+		t.Fatalf("QBER-derived fidelity estimate out of range: %v", est)
+	}
+}
+
+func TestFairnessBetweenOrigins(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	cfg.Seed = 29
+	n := NewNetwork(cfg)
+	for i := 0; i < 4; i++ {
+		origin := NodeA
+		if i%2 == 1 {
+			origin = NodeB
+		}
+		submitAt(n, sim.Duration(i)*sim.Millisecond, origin, egp.CreateRequest{
+			NumPairs:    2,
+			Keep:        false,
+			MinFidelity: 0.6,
+			Priority:    egp.PriorityMD,
+		})
+	}
+	n.Run(6 * sim.Second)
+	byOrigin := n.Collector.PairsByOrigin()
+	if byOrigin[NodeA] == 0 || byOrigin[NodeB] == 0 {
+		t.Fatalf("both origins should be served: %v", byOrigin)
+	}
+	rep := n.Collector.Fairness(NodeA, NodeB)
+	if rep.OKCountRelDiff > 0.5 {
+		t.Fatalf("origin fairness badly violated: %+v", rep)
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	run := func(seed int64) (int, float64) {
+		cfg := DefaultConfig(nv.ScenarioLab)
+		cfg.Seed = seed
+		n := NewNetwork(cfg)
+		submitAt(n, 0, NodeA, egp.CreateRequest{NumPairs: 3, MinFidelity: 0.6, Priority: egp.PriorityMD})
+		n.Run(2 * sim.Second)
+		return len(n.OKs), n.Collector.Fidelity(egp.PriorityMD).Mean()
+	}
+	oks1, f1 := run(99)
+	oks2, f2 := run(99)
+	if oks1 != oks2 || math.Abs(f1-f2) > 1e-12 {
+		t.Fatalf("same seed should reproduce identical runs: %d/%v vs %d/%v", oks1, f1, oks2, f2)
+	}
+}
+
+func TestQL2020KeepThroughputLowerThanLab(t *testing.T) {
+	// Section 6.2: QL2020 K-type throughput is roughly an order of magnitude
+	// below Lab because every attempt must wait for the midpoint reply.
+	run := func(scenario nv.ScenarioID) float64 {
+		cfg := DefaultConfig(scenario)
+		cfg.Seed = 31
+		n := NewNetwork(cfg)
+		submitAt(n, 0, NodeA, egp.CreateRequest{
+			NumPairs:    200,
+			Keep:        true,
+			MinFidelity: 0.6,
+			Priority:    egp.PriorityCK,
+		})
+		n.Run(5 * sim.Second)
+		return n.Collector.Throughput(egp.PriorityCK)
+	}
+	lab := run(nv.ScenarioLab)
+	ql := run(nv.ScenarioQL2020)
+	if lab <= 0 {
+		t.Fatal("Lab K throughput should be positive")
+	}
+	if ql <= 0 {
+		t.Fatal("QL2020 K throughput should be positive")
+	}
+	if lab < 3*ql {
+		t.Fatalf("Lab K throughput (%v) should be well above QL2020 (%v)", lab, ql)
+	}
+}
+
+func TestRobustnessToClassicalLoss(t *testing.T) {
+	// Section 6.1: inflated classical losses must not break the protocol;
+	// pairs keep being delivered.
+	cfg := DefaultConfig(nv.ScenarioLab)
+	cfg.Seed = 37
+	cfg.ClassicalLossProb = 1e-3 // even harsher than the paper's 1e-4
+	n := NewNetwork(cfg)
+	submitAt(n, 0, NodeA, egp.CreateRequest{
+		NumPairs:    10,
+		Keep:        false,
+		MinFidelity: 0.6,
+		Priority:    egp.PriorityMD,
+	})
+	n.Run(5 * sim.Second)
+	if n.Collector.OKCount(egp.PriorityMD) == 0 {
+		t.Fatal("protocol should still deliver pairs under inflated classical loss")
+	}
+}
+
+func TestStopHaltsGeneration(t *testing.T) {
+	cfg := DefaultConfig(nv.ScenarioLab)
+	n := NewNetwork(cfg)
+	n.Start()
+	n.Stop()
+	n.Submit(NodeA, egp.CreateRequest{NumPairs: 1, MinFidelity: 0.6, Priority: egp.PriorityMD})
+	_ = n.Sim.RunFor(200 * sim.Millisecond)
+	if len(n.OKs) != 0 {
+		t.Fatal("no pairs should be generated after Stop")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	n := NewNetwork(DefaultConfig(nv.ScenarioQL2020))
+	if n.Describe() == "" {
+		t.Fatal("Describe should not be empty")
+	}
+}

@@ -1,0 +1,88 @@
+package egp
+
+import (
+	"repro/internal/nv"
+)
+
+// QuantumMemoryManager (QMM) is the node-global component of Section 4.5
+// deciding which physical qubits to use for which purpose. The link layer
+// asks it to reserve a communication qubit for an attempt and, for
+// create-and-keep requests, to pick the storage qubit the fresh pair should
+// be moved to. It also translates logical qubit IDs to physical ones, which
+// on the single-NV platform of the evaluation is the identity map.
+type QuantumMemoryManager struct {
+	device *nv.Device
+
+	// reservedComm marks the communication qubit as promised to an ongoing
+	// attempt that has not yet stored a pair into it.
+	reservedComm bool
+
+	allocations uint64
+	releases    uint64
+}
+
+// NewQMM builds a memory manager over one device.
+func NewQMM(device *nv.Device) *QuantumMemoryManager {
+	return &QuantumMemoryManager{device: device}
+}
+
+// Device returns the managed device.
+func (m *QuantumMemoryManager) Device() *nv.Device { return m.device }
+
+// CommAvailable reports whether the communication qubit can host a new
+// entanglement attempt right now.
+func (m *QuantumMemoryManager) CommAvailable() bool {
+	return !m.reservedComm && m.device.CommFree()
+}
+
+// ReserveComm marks the communication qubit as in use by an attempt. It
+// returns false when it is already reserved or occupied.
+func (m *QuantumMemoryManager) ReserveComm() bool {
+	if !m.CommAvailable() {
+		return false
+	}
+	m.reservedComm = true
+	m.allocations++
+	return true
+}
+
+// ReleaseComm releases a previous reservation (after the attempt concluded,
+// whether or not it produced a pair).
+func (m *QuantumMemoryManager) ReleaseComm() {
+	if m.reservedComm {
+		m.reservedComm = false
+		m.releases++
+	}
+}
+
+// StorageAvailable reports how many free memory qubits the node has.
+func (m *QuantumMemoryManager) StorageAvailable() int { return m.device.FreeMemoryCount() }
+
+// PickStorage selects the memory qubit a create-and-keep pair should be
+// moved to. It returns (CommQubitID, false) when no memory qubit is free, in
+// which case the pair stays on the communication qubit.
+func (m *QuantumMemoryManager) PickStorage() (nv.QubitID, bool) {
+	return m.device.FreeMemoryQubit()
+}
+
+// CanSatisfyAtomic reports whether an atomic request for n simultaneously
+// stored pairs can ever fit in this node's memory (communication qubit plus
+// memory qubits), and whether it can fit right now.
+func (m *QuantumMemoryManager) CanSatisfyAtomic(n int) (ever bool, now bool) {
+	capacity := 1 + m.device.MemoryQubits()
+	free := m.device.FreeMemoryCount()
+	if m.device.CommFree() && !m.reservedComm {
+		free++
+	}
+	return n <= capacity, n <= free
+}
+
+// LogicalToPhysical translates a logical qubit ID to the physical qubit; on
+// this platform the mapping is the identity but the indirection point exists
+// so multi-qubit logical encodings can be slotted in.
+func (m *QuantumMemoryManager) LogicalToPhysical(logical nv.QubitID) nv.QubitID { return logical }
+
+// Stats returns allocation counters.
+func (m *QuantumMemoryManager) Stats() (allocations, releases uint64) {
+	return m.allocations, m.releases
+}

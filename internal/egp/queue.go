@@ -1,0 +1,497 @@
+// Package egp implements the link layer Entanglement Generation Protocol of
+// Section 5.2 and Appendix E: the distributed queue protocol (DQP), the
+// quantum memory manager (QMM), the fidelity estimation unit (FEU), the
+// request schedulers (FCFS and strict-priority + weighted-fair-queuing), and
+// the EGP request lifecycle itself (CREATE → OK / ERR / EXPIRE).
+package egp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classical"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Priority classes used throughout the evaluation. Lower value = higher
+// priority, matching "priority 1 (highest)" for NL in the paper.
+const (
+	PriorityNL = 0
+	PriorityCK = 1
+	PriorityMD = 2
+	// NumQueues is the number of priority lanes in the distributed queue.
+	NumQueues = 3
+)
+
+// PriorityName renders the use-case name of a priority class.
+func PriorityName(p int) string {
+	switch p {
+	case PriorityNL:
+		return "NL"
+	case PriorityCK:
+		return "CK"
+	case PriorityMD:
+		return "MD"
+	default:
+		return fmt.Sprintf("P%d", p)
+	}
+}
+
+// QueueItem is one entanglement request together with the metadata the DQP
+// attaches to it (Section E.1).
+type QueueItem struct {
+	ID               wire.AbsoluteQueueID
+	CreateID         uint16
+	OriginMaster     bool // true when the request originated at the queue master
+	PurposeID        uint16
+	Priority         uint8
+	NumPairs         uint16
+	PairsLeft        uint16
+	Keep             bool
+	Atomic           bool
+	Consecutive      bool
+	MinFidelity      float64
+	Alpha            float64
+	CreateTime       sim.Time
+	ScheduleCycle    uint64 // min_time: earliest MHP cycle the item may be served
+	TimeoutCycle     uint64 // 0 = no timeout
+	VirtualFinish    uint64 // WFQ virtual finish time, stamped by the master
+	EstCyclesPerPair uint32
+
+	confirmed bool // both nodes are known to hold the item
+}
+
+// Confirmed reports whether the peer has acknowledged the item.
+func (it *QueueItem) Confirmed() bool { return it.confirmed }
+
+// Expired reports whether the item has passed its timeout cycle.
+func (it *QueueItem) Expired(cycle uint64) bool {
+	return it.TimeoutCycle != 0 && cycle > it.TimeoutCycle
+}
+
+// Ready reports whether the item may be served at the given cycle.
+func (it *QueueItem) Ready(cycle uint64) bool {
+	return it.confirmed && cycle >= it.ScheduleCycle && !it.Expired(cycle)
+}
+
+// DistributedQueue is one node's view of the shared request queue
+// (Section E.1). One node is the master and assigns sequence numbers within
+// each priority lane; the other (slave) obtains them through the two-way
+// handshake.
+type DistributedQueue struct {
+	nodeName string
+	isMaster bool
+	simul    *sim.Simulator
+	toPeer   *classical.Channel
+
+	maxLen int
+	window int
+
+	queues  [NumQueues][]*QueueItem
+	nextSeq [NumQueues]uint16
+
+	// Pending outgoing ADDs awaiting an ACK, keyed by communication sequence
+	// number.
+	pendingAdds map[uint8]*pendingAdd
+	nextCommSeq uint8
+
+	// seenAdds remembers already-processed peer CSEQs so retransmissions are
+	// acknowledged idempotently; it maps peer CSEQ to the assigned queue ID.
+	seenAdds map[uint8]wire.AbsoluteQueueID
+
+	// consecutiveLocal counts how many items in a row were enqueued by this
+	// node; used with the fairness window.
+	consecutiveLocal int
+
+	// Callbacks.
+	onConfirmed func(*QueueItem)
+	onRejected  func(*QueueItem, wire.EGPError)
+
+	// acceptPolicy gates remotely originated requests (purpose-ID rules).
+	acceptPolicy AcceptPolicy
+
+	// stampFunc lets the master's scheduler assign scheduling metadata
+	// (e.g. WFQ virtual finish times) to items as they are enqueued.
+	stampFunc func(*QueueItem)
+
+	retransmitDelay sim.Duration
+	maxRetries      int
+
+	// Statistics.
+	addsSent, acksSent, rejectsSent, retransmissions uint64
+}
+
+type pendingAdd struct {
+	item    *QueueItem
+	retries int
+	timer   sim.EventID
+}
+
+// QueueConfig collects DistributedQueue construction parameters.
+type QueueConfig struct {
+	NodeName        string
+	IsMaster        bool
+	Sim             *sim.Simulator
+	ToPeer          *classical.Channel
+	MaxLen          int // maximum items per priority lane (256 in the paper)
+	Window          int // fairness window W (maximum consecutive local enqueues)
+	RetransmitDelay sim.Duration
+	MaxRetries      int
+	OnConfirmed     func(*QueueItem)
+	OnRejected      func(*QueueItem, wire.EGPError)
+}
+
+// NewDistributedQueue builds one node's end of the distributed queue.
+func NewDistributedQueue(cfg QueueConfig) *DistributedQueue {
+	if cfg.Sim == nil || cfg.ToPeer == nil {
+		panic("egp: incomplete queue configuration")
+	}
+	if cfg.MaxLen <= 0 {
+		cfg.MaxLen = 256
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.RetransmitDelay <= 0 {
+		cfg.RetransmitDelay = 10 * sim.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 5
+	}
+	return &DistributedQueue{
+		nodeName:        cfg.NodeName,
+		isMaster:        cfg.IsMaster,
+		simul:           cfg.Sim,
+		toPeer:          cfg.ToPeer,
+		maxLen:          cfg.MaxLen,
+		window:          cfg.Window,
+		pendingAdds:     make(map[uint8]*pendingAdd),
+		seenAdds:        make(map[uint8]wire.AbsoluteQueueID),
+		onConfirmed:     cfg.OnConfirmed,
+		onRejected:      cfg.OnRejected,
+		retransmitDelay: cfg.RetransmitDelay,
+		maxRetries:      cfg.MaxRetries,
+	}
+}
+
+// IsMaster reports whether this node holds the master copy of the queue.
+func (q *DistributedQueue) IsMaster() bool { return q.isMaster }
+
+// Len returns the number of items currently in the given priority lane.
+func (q *DistributedQueue) Len(priority int) int { return len(q.queues[priority]) }
+
+// TotalLen returns the number of items across all lanes.
+func (q *DistributedQueue) TotalLen() int {
+	n := 0
+	for i := range q.queues {
+		n += len(q.queues[i])
+	}
+	return n
+}
+
+// Full reports whether the given lane has reached its maximum length.
+func (q *DistributedQueue) Full(priority int) bool { return len(q.queues[priority]) >= q.maxLen }
+
+// Items returns the items of a lane in queue order (shared slice; callers
+// must not mutate).
+func (q *DistributedQueue) Items(priority int) []*QueueItem { return q.queues[priority] }
+
+// AllItems returns every queued item across lanes, ordered by lane then
+// position.
+func (q *DistributedQueue) AllItems() []*QueueItem {
+	var out []*QueueItem
+	for i := range q.queues {
+		out = append(out, q.queues[i]...)
+	}
+	return out
+}
+
+// Find returns the item with the given absolute queue ID, or nil.
+func (q *DistributedQueue) Find(id wire.AbsoluteQueueID) *QueueItem {
+	if int(id.QueueID) >= NumQueues {
+		return nil
+	}
+	for _, it := range q.queues[id.QueueID] {
+		if it.ID == id {
+			return it
+		}
+	}
+	return nil
+}
+
+// Remove deletes the item with the given ID from the queue, returning true
+// when it was present.
+func (q *DistributedQueue) Remove(id wire.AbsoluteQueueID) bool {
+	if int(id.QueueID) >= NumQueues {
+		return false
+	}
+	lane := q.queues[id.QueueID]
+	for i, it := range lane {
+		if it.ID == id {
+			q.queues[id.QueueID] = append(lane[:i], lane[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Add enqueues a locally originated request. On the master the item receives
+// its sequence number immediately and an ADD is sent to the slave; on the
+// slave the ADD is sent to the master, which assigns the sequence number
+// echoed in the ACK. The item is reported through OnConfirmed once both
+// sides hold it, or OnRejected on failure.
+func (q *DistributedQueue) Add(item *QueueItem) error {
+	priority := int(item.Priority)
+	if priority < 0 || priority >= NumQueues {
+		return fmt.Errorf("egp: priority %d out of range", item.Priority)
+	}
+	if q.Full(priority) {
+		return fmt.Errorf("egp: queue %d full", priority)
+	}
+	item.OriginMaster = q.isMaster
+	cseq := q.nextCommSeq
+	q.nextCommSeq++
+	if q.isMaster {
+		item.ID = wire.AbsoluteQueueID{QueueID: uint8(priority), QueueSeq: q.nextSeq[priority]}
+		q.nextSeq[priority]++
+		if q.stampFunc != nil {
+			q.stampFunc(item)
+		}
+		q.queues[priority] = append(q.queues[priority], item)
+		q.consecutiveLocal++
+	}
+	pa := &pendingAdd{item: item}
+	q.pendingAdds[cseq] = pa
+	q.sendAdd(cseq, item)
+	q.scheduleRetransmit(cseq)
+	return nil
+}
+
+func (q *DistributedQueue) sendAdd(cseq uint8, item *QueueItem) {
+	q.addsSent++
+	frame := wire.DQPFrame{
+		Kind:             wire.DQPAdd,
+		CommSeq:          cseq,
+		QueueID:          item.ID,
+		ScheduleCycle:    item.ScheduleCycle,
+		TimeoutCycle:     item.TimeoutCycle,
+		MinFidelity:      item.MinFidelity,
+		PurposeID:        item.PurposeID,
+		CreateID:         item.CreateID,
+		NumPairs:         item.NumPairs,
+		Priority:         item.Priority,
+		VirtualFinish:    item.VirtualFinish,
+		EstCyclesPerPair: item.EstCyclesPerPair,
+		Flags: wire.RequestFlags{
+			Store:         item.Keep,
+			Atomic:        item.Atomic,
+			MeasureDirect: !item.Keep,
+			MasterRequest: item.OriginMaster,
+			Consecutive:   item.Consecutive,
+		},
+	}
+	q.toPeer.Send(frame.Encode())
+}
+
+func (q *DistributedQueue) scheduleRetransmit(cseq uint8) {
+	pa, ok := q.pendingAdds[cseq]
+	if !ok {
+		return
+	}
+	pa.timer = q.simul.Schedule(q.retransmitDelay, func() {
+		cur, still := q.pendingAdds[cseq]
+		if !still || cur != pa {
+			return
+		}
+		if pa.retries >= q.maxRetries {
+			delete(q.pendingAdds, cseq)
+			// Give up: remove the local copy (master) and report failure.
+			if q.isMaster {
+				q.Remove(pa.item.ID)
+			}
+			if q.onRejected != nil {
+				q.onRejected(pa.item, wire.ErrNoTime)
+			}
+			return
+		}
+		pa.retries++
+		q.retransmissions++
+		q.sendAdd(cseq, pa.item)
+		q.scheduleRetransmit(cseq)
+	})
+}
+
+// AcceptPolicy decides whether a remotely originated request is allowed
+// (e.g. purpose-ID based rules). A nil policy accepts everything.
+type AcceptPolicy func(frame wire.DQPFrame) bool
+
+// SetAcceptPolicy installs the policy consulted before acknowledging remote
+// ADDs; a nil policy accepts every request.
+func (q *DistributedQueue) SetAcceptPolicy(p AcceptPolicy) { q.acceptPolicy = p }
+
+// SetStampFunc installs the scheduler stamping hook applied by the master to
+// every item entering the queue.
+func (q *DistributedQueue) SetStampFunc(f func(*QueueItem)) { q.stampFunc = f }
+
+// HandleMessage processes an encoded DQP frame received from the peer.
+func (q *DistributedQueue) HandleMessage(msg classical.Message) {
+	raw, ok := msg.Payload.([]byte)
+	if !ok {
+		return
+	}
+	frame, err := wire.DecodeDQP(raw)
+	if err != nil {
+		return
+	}
+	switch frame.Kind {
+	case wire.DQPAdd:
+		q.handleAdd(frame)
+	case wire.DQPAck:
+		q.handleAck(frame)
+	case wire.DQPRej:
+		q.handleRej(frame)
+	}
+}
+
+// handleAdd processes a peer's ADD: validate, enqueue, and acknowledge.
+func (q *DistributedQueue) handleAdd(frame wire.DQPFrame) {
+	// Idempotent handling of retransmissions.
+	if id, seen := q.seenAdds[frame.CommSeq]; seen {
+		q.sendAckFor(frame.CommSeq, id, frame)
+		return
+	}
+	if q.acceptPolicy != nil && !q.acceptPolicy(frame) {
+		q.rejectsSent++
+		reply := frame
+		reply.Kind = wire.DQPRej
+		q.toPeer.Send(reply.Encode())
+		return
+	}
+	priority := int(frame.Priority)
+	if priority < 0 || priority >= NumQueues || q.Full(priority) {
+		q.rejectsSent++
+		reply := frame
+		reply.Kind = wire.DQPRej
+		q.toPeer.Send(reply.Encode())
+		return
+	}
+	item := &QueueItem{
+		CreateID:         frame.CreateID,
+		OriginMaster:     frame.Flags.MasterRequest,
+		PurposeID:        frame.PurposeID,
+		Priority:         frame.Priority,
+		NumPairs:         frame.NumPairs,
+		PairsLeft:        frame.NumPairs,
+		Keep:             frame.Flags.Store,
+		Atomic:           frame.Flags.Atomic,
+		Consecutive:      frame.Flags.Consecutive,
+		MinFidelity:      frame.MinFidelity,
+		CreateTime:       q.simul.Now(),
+		ScheduleCycle:    frame.ScheduleCycle,
+		TimeoutCycle:     frame.TimeoutCycle,
+		VirtualFinish:    frame.VirtualFinish,
+		EstCyclesPerPair: frame.EstCyclesPerPair,
+		confirmed:        true,
+	}
+	if q.isMaster {
+		// The master assigns the authoritative sequence number and stamps
+		// scheduler metadata; both travel back to the slave in the ACK.
+		item.ID = wire.AbsoluteQueueID{QueueID: uint8(priority), QueueSeq: q.nextSeq[priority]}
+		q.nextSeq[priority]++
+		if q.stampFunc != nil {
+			q.stampFunc(item)
+		}
+		q.consecutiveLocal = 0
+	} else {
+		// The slave adopts the master's assignment.
+		item.ID = frame.QueueID
+		if int(item.ID.QueueID) != priority {
+			return
+		}
+		if item.ID.QueueSeq >= q.nextSeq[priority] {
+			q.nextSeq[priority] = item.ID.QueueSeq + 1
+		}
+	}
+	q.queues[priority] = append(q.queues[priority], item)
+	q.sortLane(priority)
+	q.seenAdds[frame.CommSeq] = item.ID
+	ack := frame
+	ack.VirtualFinish = item.VirtualFinish
+	q.sendAckFor(frame.CommSeq, item.ID, ack)
+	if q.onConfirmed != nil {
+		q.onConfirmed(item)
+	}
+}
+
+func (q *DistributedQueue) sendAckFor(cseq uint8, id wire.AbsoluteQueueID, orig wire.DQPFrame) {
+	q.acksSent++
+	ack := orig
+	ack.Kind = wire.DQPAck
+	ack.CommSeq = cseq
+	ack.QueueID = id
+	q.toPeer.Send(ack.Encode())
+}
+
+// handleAck completes a pending local ADD.
+func (q *DistributedQueue) handleAck(frame wire.DQPFrame) {
+	pa, ok := q.pendingAdds[frame.CommSeq]
+	if !ok {
+		return
+	}
+	delete(q.pendingAdds, frame.CommSeq)
+	pa.timer.Cancel()
+	item := pa.item
+	if !q.isMaster {
+		// Adopt the master-assigned queue ID and scheduling stamp, then
+		// enqueue locally.
+		item.ID = frame.QueueID
+		item.VirtualFinish = frame.VirtualFinish
+		priority := int(item.Priority)
+		if int(item.ID.QueueID) == priority {
+			if item.ID.QueueSeq >= q.nextSeq[priority] {
+				q.nextSeq[priority] = item.ID.QueueSeq + 1
+			}
+			item.confirmed = true
+			q.queues[priority] = append(q.queues[priority], item)
+			q.sortLane(priority)
+		}
+	} else {
+		item.confirmed = true
+	}
+	if q.onConfirmed != nil {
+		q.onConfirmed(item)
+	}
+}
+
+// handleRej aborts a pending local ADD.
+func (q *DistributedQueue) handleRej(frame wire.DQPFrame) {
+	pa, ok := q.pendingAdds[frame.CommSeq]
+	if !ok {
+		return
+	}
+	delete(q.pendingAdds, frame.CommSeq)
+	pa.timer.Cancel()
+	if q.isMaster {
+		q.Remove(pa.item.ID)
+	}
+	if q.onRejected != nil {
+		q.onRejected(pa.item, wire.ErrRejected)
+	}
+}
+
+// sortLane keeps a lane ordered by queue sequence number so both nodes agree
+// on queue order regardless of message arrival interleaving.
+func (q *DistributedQueue) sortLane(priority int) {
+	lane := q.queues[priority]
+	sort.SliceStable(lane, func(i, j int) bool { return lane[i].ID.QueueSeq < lane[j].ID.QueueSeq })
+}
+
+// Stats returns DQP message counters.
+func (q *DistributedQueue) Stats() (adds, acks, rejects, retransmits uint64) {
+	return q.addsSent, q.acksSent, q.rejectsSent, q.retransmissions
+}
+
+// WindowExceeded reports whether this node has enqueued more than the
+// fairness window of consecutive items without the peer enqueuing any.
+func (q *DistributedQueue) WindowExceeded() bool { return q.consecutiveLocal > q.window }

@@ -1,0 +1,243 @@
+package egp
+
+import (
+	"testing"
+
+	"repro/internal/classical"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// queuePair wires a master and a slave distributed queue over lossy duplex
+// channels on one simulator.
+type queuePair struct {
+	s      *sim.Simulator
+	master *DistributedQueue
+	slave  *DistributedQueue
+}
+
+func newQueuePair(t *testing.T, loss float64, window int) *queuePair {
+	t.Helper()
+	s := sim.New(3)
+	qp := &queuePair{s: s}
+	var toSlave, toMaster *classical.Channel
+	toSlave = classical.NewChannel("m->s", s, 50*sim.Microsecond, loss, func(m classical.Message) {
+		qp.slave.HandleMessage(m)
+	})
+	toMaster = classical.NewChannel("s->m", s, 50*sim.Microsecond, loss, func(m classical.Message) {
+		qp.master.HandleMessage(m)
+	})
+	qp.master = NewDistributedQueue(QueueConfig{
+		NodeName: "A", IsMaster: true, Sim: s, ToPeer: toSlave, MaxLen: 8, Window: window,
+		RetransmitDelay: 1 * sim.Millisecond, MaxRetries: 5,
+	})
+	qp.slave = NewDistributedQueue(QueueConfig{
+		NodeName: "B", IsMaster: false, Sim: s, ToPeer: toMaster, MaxLen: 8, Window: window,
+		RetransmitDelay: 1 * sim.Millisecond, MaxRetries: 5,
+	})
+	return qp
+}
+
+func newItem(priority uint8, createID uint16) *QueueItem {
+	return &QueueItem{
+		CreateID:    createID,
+		Priority:    priority,
+		NumPairs:    1,
+		PairsLeft:   1,
+		MinFidelity: 0.64,
+	}
+}
+
+func TestMasterAddPropagatesToSlave(t *testing.T) {
+	qp := newQueuePair(t, 0, 4)
+	item := newItem(PriorityMD, 1)
+	qp.s.Schedule(0, func() {
+		if err := qp.master.Add(item); err != nil {
+			t.Errorf("Add: %v", err)
+		}
+	})
+	_ = qp.s.RunFor(10 * sim.Millisecond)
+
+	if qp.master.Len(PriorityMD) != 1 || qp.slave.Len(PriorityMD) != 1 {
+		t.Fatalf("both queues should hold the item: master=%d slave=%d", qp.master.Len(PriorityMD), qp.slave.Len(PriorityMD))
+	}
+	if !item.Confirmed() {
+		t.Fatal("master's item should be confirmed after ACK")
+	}
+	remote := qp.slave.Find(item.ID)
+	if remote == nil {
+		t.Fatal("slave cannot find the item by its absolute queue ID")
+	}
+	if remote.CreateID != item.CreateID || remote.Priority != item.Priority {
+		t.Fatal("request fields not carried to the slave")
+	}
+}
+
+func TestSlaveAddGetsMasterAssignedSequence(t *testing.T) {
+	qp := newQueuePair(t, 0, 4)
+	// Master enqueues one item first so the next sequence number is 1.
+	first := newItem(PriorityMD, 1)
+	slaveItem := newItem(PriorityMD, 2)
+	qp.s.Schedule(0, func() { _ = qp.master.Add(first) })
+	qp.s.Schedule(1*sim.Millisecond, func() { _ = qp.slave.Add(slaveItem) })
+	_ = qp.s.RunFor(20 * sim.Millisecond)
+
+	if slaveItem.ID.QueueSeq != 1 {
+		t.Fatalf("slave item should get master-assigned sequence 1, got %v", slaveItem.ID)
+	}
+	if qp.master.Len(PriorityMD) != 2 || qp.slave.Len(PriorityMD) != 2 {
+		t.Fatalf("both queues should hold 2 items: %d, %d", qp.master.Len(PriorityMD), qp.slave.Len(PriorityMD))
+	}
+	// Queue order must be identical on both sides.
+	mItems := qp.master.Items(PriorityMD)
+	sItems := qp.slave.Items(PriorityMD)
+	for i := range mItems {
+		if mItems[i].ID != sItems[i].ID {
+			t.Fatalf("queue order differs at %d: %v vs %v", i, mItems[i].ID, sItems[i].ID)
+		}
+	}
+}
+
+func TestQueueSurvivesFrameLoss(t *testing.T) {
+	// With 30% frame loss the retransmission machinery must still converge.
+	qp := newQueuePair(t, 0.3, 4)
+	items := make([]*QueueItem, 6)
+	qp.s.Schedule(0, func() {
+		for i := range items {
+			items[i] = newItem(PriorityMD, uint16(i))
+			if i%2 == 0 {
+				_ = qp.master.Add(items[i])
+			} else {
+				_ = qp.slave.Add(items[i])
+			}
+		}
+	})
+	_ = qp.s.RunFor(200 * sim.Millisecond)
+	if qp.master.Len(PriorityMD) != qp.slave.Len(PriorityMD) {
+		t.Fatalf("queues diverged under loss: master=%d slave=%d", qp.master.Len(PriorityMD), qp.slave.Len(PriorityMD))
+	}
+	if qp.master.Len(PriorityMD) == 0 {
+		t.Fatal("no items survived")
+	}
+	_, _, _, retransmits := qp.master.Stats()
+	_, _, _, retransmitsSlave := qp.slave.Stats()
+	if retransmits+retransmitsSlave == 0 {
+		t.Fatal("expected retransmissions under 30% loss")
+	}
+}
+
+func TestQueueRejectionByPolicy(t *testing.T) {
+	qp := newQueuePair(t, 0, 4)
+	// The slave only accepts purpose ID 42.
+	qp.slave.SetAcceptPolicy(func(f wire.DQPFrame) bool { return f.PurposeID == 42 })
+	rejected := false
+	qp.master.onRejected = func(item *QueueItem, code wire.EGPError) {
+		if code == wire.ErrRejected {
+			rejected = true
+		}
+	}
+	bad := newItem(PriorityMD, 1)
+	bad.PurposeID = 7
+	good := newItem(PriorityMD, 2)
+	good.PurposeID = 42
+	qp.s.Schedule(0, func() {
+		_ = qp.master.Add(bad)
+		_ = qp.master.Add(good)
+	})
+	_ = qp.s.RunFor(20 * sim.Millisecond)
+	if !rejected {
+		t.Fatal("disallowed purpose ID should be rejected (DENIED)")
+	}
+	if qp.master.Find(bad.ID) != nil {
+		t.Fatal("rejected item should be removed from the master queue")
+	}
+	if qp.slave.Len(PriorityMD) != 1 || qp.master.Len(PriorityMD) != 1 {
+		t.Fatal("only the allowed item should remain")
+	}
+}
+
+func TestQueueFullRejectsLocally(t *testing.T) {
+	qp := newQueuePair(t, 0, 4)
+	qp.s.Schedule(0, func() {
+		for i := 0; i < 8; i++ {
+			if err := qp.master.Add(newItem(PriorityMD, uint16(i))); err != nil {
+				t.Errorf("Add %d: %v", i, err)
+			}
+		}
+		if err := qp.master.Add(newItem(PriorityMD, 99)); err == nil {
+			t.Error("9th item should overflow the 8-item lane")
+		}
+	})
+	_ = qp.s.RunFor(20 * sim.Millisecond)
+	if qp.master.Full(PriorityMD) != true {
+		t.Fatal("lane should report full")
+	}
+}
+
+func TestQueueRemoveAndFind(t *testing.T) {
+	qp := newQueuePair(t, 0, 4)
+	item := newItem(PriorityCK, 5)
+	qp.s.Schedule(0, func() { _ = qp.master.Add(item) })
+	_ = qp.s.RunFor(10 * sim.Millisecond)
+	if qp.master.Find(item.ID) == nil {
+		t.Fatal("item should be findable")
+	}
+	if !qp.master.Remove(item.ID) {
+		t.Fatal("remove should succeed")
+	}
+	if qp.master.Remove(item.ID) {
+		t.Fatal("second remove should fail")
+	}
+	if qp.master.TotalLen() != 0 {
+		t.Fatal("queue should be empty after removal")
+	}
+	if qp.master.Find(wire.AbsoluteQueueID{QueueID: 9, QueueSeq: 0}) != nil {
+		t.Fatal("out-of-range lane lookup should return nil")
+	}
+}
+
+func TestQueueItemReadiness(t *testing.T) {
+	it := newItem(PriorityNL, 1)
+	it.ScheduleCycle = 100
+	it.TimeoutCycle = 200
+	it.confirmed = true
+	if it.Ready(50) {
+		t.Fatal("item should not be ready before its schedule cycle")
+	}
+	if !it.Ready(150) {
+		t.Fatal("item should be ready between schedule and timeout")
+	}
+	if it.Ready(201) || !it.Expired(201) {
+		t.Fatal("item should be expired after its timeout cycle")
+	}
+	it.confirmed = false
+	if it.Ready(150) {
+		t.Fatal("unconfirmed items are never ready")
+	}
+}
+
+func TestQueueAddGivesUpWithoutPeer(t *testing.T) {
+	// A master whose ADDs are all lost must eventually report ERR_NOTIME and
+	// clean up its local copy.
+	qp := newQueuePair(t, 1.0, 4)
+	var failedCode wire.EGPError
+	qp.master.onRejected = func(item *QueueItem, code wire.EGPError) { failedCode = code }
+	item := newItem(PriorityMD, 1)
+	qp.s.Schedule(0, func() { _ = qp.master.Add(item) })
+	_ = qp.s.RunFor(500 * sim.Millisecond)
+	if failedCode != wire.ErrNoTime {
+		t.Fatalf("expected ERR_NOTIME after retransmissions exhausted, got %v", failedCode)
+	}
+	if qp.master.TotalLen() != 0 {
+		t.Fatal("failed item should be removed from the master queue")
+	}
+}
+
+func TestInvalidPriorityRejected(t *testing.T) {
+	qp := newQueuePair(t, 0, 4)
+	item := newItem(0, 1)
+	item.Priority = 9
+	if err := qp.master.Add(item); err == nil {
+		t.Fatal("out-of-range priority should be rejected")
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/egp"
+	"repro/internal/workload"
+)
+
+// RunSection62Metrics reproduces the single-kind performance metrics of
+// Section 6.2: average fidelity, throughput, scaled latency, queue length
+// and origin fairness for the grid of {scenario} × {kind} × {load} × {kmax}
+// scenarios (a scaled-down version of the paper's 169-scenario campaign).
+func RunSection62Metrics(opt Options) []Table {
+	loads := []workload.LoadLevel{workload.LoadLow, workload.LoadHigh, workload.LoadUltra}
+	kmaxes := []int{1, 3}
+	if opt.Quick {
+		loads = []workload.LoadLevel{workload.LoadHigh}
+		kmaxes = []int{3}
+	}
+
+	perf := Table{
+		ID:      "sec6.2",
+		Caption: "Single-kind performance metrics (Sec. 6.2): fidelity, throughput, scaled latency",
+		Columns: []string{"scenario", "kind", "load", "kmax", "F_avg", "QBER_F", "throughput(1/s)", "scaled_latency(s)", "queue_len", "pairs"},
+	}
+	fairness := Table{
+		ID:      "sec6.2-fairness",
+		Caption: "Fairness: relative differences between requests originating at A and at B (Sec. 6.2)",
+		Columns: []string{"scenario", "kind", "load", "RelDiff_fidelity", "RelDiff_throughput", "RelDiff_latency", "RelDiff_OKs"},
+	}
+
+	seed := opt.Seed
+	for _, scenario := range scenarioList(opt) {
+		for _, priority := range priorityOrder {
+			for _, load := range loads {
+				for _, kmax := range kmaxes {
+					seed++
+					cfg := core.DefaultConfig(scenario)
+					cfg.Seed = seed
+					classes := workload.SingleKind(priority, load, kmax)
+					net := runScenario(cfg, workload.OriginRandom, classes, opt)
+
+					qberFid := 0.0
+					if q := net.Collector.QBER(priority); q != nil && q.Samples() > 0 {
+						qberFid = q.FidelityEstimate()
+					}
+					perf.Rows = append(perf.Rows, []string{
+						string(scenario),
+						egp.PriorityName(priority),
+						workload.LoadName(load),
+						itoa(kmax),
+						f3(net.Collector.Fidelity(priority).Mean()),
+						f3(qberFid),
+						f3(net.Collector.Throughput(priority)),
+						f3(net.Collector.ScaledLatency(priority).Mean()),
+						f3(net.Collector.QueueLength().Mean()),
+						itoa(net.Collector.OKCount(priority)),
+					})
+					if kmax == kmaxes[len(kmaxes)-1] {
+						rep := net.Collector.Fairness(core.NodeA, core.NodeB)
+						fairness.Rows = append(fairness.Rows, []string{
+							string(scenario),
+							egp.PriorityName(priority),
+							workload.LoadName(load),
+							f3(rep.FidelityRelDiff),
+							f3(rep.ThroughputRelDiff),
+							f3(rep.LatencyRelDiff),
+							f3(rep.OKCountRelDiff),
+						})
+					}
+				}
+			}
+		}
+	}
+	return []Table{perf, fairness}
+}
+
+// RunTable1Scheduling reproduces Section 6.3 / Table 1 and the behaviour of
+// Figure 7: throughput and scaled latency per request kind under FCFS vs the
+// strict-priority + weighted-fair-queuing scheduler, for the two request
+// patterns of Table 1 on QL2020 (pairs per request 2/2/10).
+func RunTable1Scheduling(opt Options) []Table {
+	scenario := scenarioList(opt)[len(scenarioList(opt))-1]
+	schedulers := []string{"FCFS", "HigherWFQ"}
+	patterns := []struct {
+		name    string
+		uniform bool
+	}{
+		{"(i) uniform", true},
+		{"(ii) noNL-moreMD", false},
+	}
+	throughput := Table{
+		ID:      "table1-T",
+		Caption: "Throughput (1/s) per kind, FCFS vs WFQ (Table 1, top)",
+		Columns: []string{"pattern", "scheduler", "NL", "CK", "MD", "total"},
+	}
+	latency := Table{
+		ID:      "table1-SL",
+		Caption: "Scaled latency (s) per kind, FCFS vs WFQ (Table 1, bottom)",
+		Columns: []string{"pattern", "scheduler", "NL", "CK", "MD"},
+	}
+	seed := opt.Seed
+	for _, pat := range patterns {
+		for _, sched := range schedulers {
+			seed++
+			cfg := core.DefaultConfig(scenario)
+			cfg.Seed = seed
+			cfg.Scheduler = sched
+			classes := workload.Table1Pattern(pat.uniform)
+			net := runScenario(cfg, workload.OriginRandom, classes, opt)
+
+			row := []string{pat.name, sched}
+			total := 0.0
+			for _, priority := range priorityOrder {
+				th := net.Collector.Throughput(priority)
+				total += th
+				if !pat.uniform && priority == egp.PriorityNL {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, f3(th))
+			}
+			row = append(row, f3(total))
+			throughput.Rows = append(throughput.Rows, row)
+
+			lrow := []string{pat.name, sched}
+			for _, priority := range priorityOrder {
+				if !pat.uniform && priority == egp.PriorityNL {
+					lrow = append(lrow, "-")
+					continue
+				}
+				lrow = append(lrow, fmt.Sprintf("%.3f (%.3f)",
+					net.Collector.ScaledLatency(priority).Mean(),
+					net.Collector.ScaledLatency(priority).StdErr()))
+			}
+			latency.Rows = append(latency.Rows, lrow)
+		}
+	}
+	return []Table{throughput, latency}
+}
+
+// RunTable3Mixed reproduces Appendix Table 3: throughput per kind for the
+// mixed-usage patterns of Appendix Table 2 under FCFS and HigherWFQ, on both
+// hardware scenarios.
+func RunTable3Mixed(opt Options) []Table {
+	return runMixed(opt, true)
+}
+
+// RunTable4Mixed reproduces Appendix Table 4: scaled latency and request
+// latency per kind for the same mixed-usage scenarios.
+func RunTable4Mixed(opt Options) []Table {
+	return runMixed(opt, false)
+}
+
+// runMixed executes the mixed-load grid and reports either throughput
+// (Table 3) or latencies (Table 4).
+func runMixed(opt Options, throughputTable bool) []Table {
+	patterns := workload.AllPatterns()
+	if opt.Quick {
+		patterns = []workload.Pattern{workload.PatternUniform, workload.PatternNoNLMoreMD}
+	}
+	schedulers := []string{"FCFS", "HigherWFQ"}
+
+	var table Table
+	if throughputTable {
+		table = Table{
+			ID:      "table3",
+			Caption: "Mixed-load average throughput (1/s) per kind (App. Table 3)",
+			Columns: []string{"scenario", "T_NL", "T_CK", "T_MD"},
+		}
+	} else {
+		table = Table{
+			ID:      "table4",
+			Caption: "Mixed-load scaled latency SL and request latency RL (s) per kind (App. Table 4)",
+			Columns: []string{"scenario", "SL_NL", "SL_CK", "SL_MD", "RL_NL", "RL_CK", "RL_MD"},
+		}
+	}
+
+	seed := opt.Seed
+	for _, scenario := range scenarioList(opt) {
+		for _, pattern := range patterns {
+			for _, sched := range schedulers {
+				seed++
+				cfg := core.DefaultConfig(scenario)
+				cfg.Seed = seed
+				cfg.Scheduler = sched
+				classes := workload.Mixed(pattern)
+				net := runScenario(cfg, workload.OriginRandom, classes, opt)
+
+				name := fmt.Sprintf("%s_%s_%s", scenario, pattern, sched)
+				hasNL := pattern != workload.PatternNoNLMoreCK && pattern != workload.PatternNoNLMoreMD
+				if throughputTable {
+					row := []string{name}
+					for _, priority := range priorityOrder {
+						if priority == egp.PriorityNL && !hasNL {
+							row = append(row, "-")
+							continue
+						}
+						row = append(row, f3(net.Collector.Throughput(priority)))
+					}
+					table.Rows = append(table.Rows, row)
+				} else {
+					row := []string{name}
+					for _, priority := range priorityOrder {
+						if priority == egp.PriorityNL && !hasNL {
+							row = append(row, "-")
+							continue
+						}
+						row = append(row, fmt.Sprintf("%.2f (%.2f)",
+							net.Collector.ScaledLatency(priority).Mean(),
+							net.Collector.ScaledLatency(priority).StdErr()))
+					}
+					for _, priority := range priorityOrder {
+						if priority == egp.PriorityNL && !hasNL {
+							row = append(row, "-")
+							continue
+						}
+						row = append(row, fmt.Sprintf("%.2f (%.2f)",
+							net.Collector.RequestLatency(priority).Mean(),
+							net.Collector.RequestLatency(priority).StdErr()))
+					}
+					table.Rows = append(table.Rows, row)
+				}
+			}
+		}
+	}
+	return []Table{table}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/egp"
+	"repro/internal/metrics"
+	"repro/internal/nv"
+	"repro/internal/workload"
+)
+
+// robustnessRun captures the metrics of one robustness scenario.
+type robustnessRun struct {
+	fidelity   float64
+	throughput float64
+	latency    float64
+	pairs      int
+	expires    int
+}
+
+// RunTable5Robustness reproduces Section 6.1 / Table 5: the protocol is run
+// under artificially inflated classical frame-loss probabilities and the
+// relative differences of fidelity, throughput, scaled latency and delivered
+// pair count against the loss-free baseline are reported, maximised over the
+// three request kinds.
+func RunTable5Robustness(opt Options) []Table {
+	losses := []float64{1e-10, 1e-8, 1e-6, 1e-5, 1e-4}
+	if opt.Quick {
+		losses = []float64{1e-6, 1e-4}
+	}
+	kinds := priorityOrder
+	if opt.Quick {
+		kinds = []int{egp.PriorityMD}
+	}
+	scenario := nv.ScenarioLab
+
+	run := func(loss float64, priority int) robustnessRun {
+		cfg := core.DefaultConfig(scenario)
+		cfg.Seed = opt.Seed + int64(priority)
+		cfg.ClassicalLossProb = loss
+		classes := []workload.Class{{
+			Priority:    priority,
+			Fraction:    0.99,
+			MaxPairs:    3,
+			MinFidelity: 0.64,
+		}}
+		net := runScenario(cfg, workload.OriginRandom, classes, opt)
+		return robustnessRun{
+			fidelity:   net.Collector.Fidelity(priority).Mean(),
+			throughput: net.Collector.Throughput(priority),
+			latency:    net.Collector.ScaledLatency(priority).Mean(),
+			pairs:      net.Collector.OKCount(priority),
+			expires:    net.Collector.ExpireCount(),
+		}
+	}
+
+	baselines := make(map[int]robustnessRun)
+	for _, priority := range kinds {
+		baselines[priority] = run(0, priority)
+	}
+
+	table := Table{
+		ID:      "table5",
+		Caption: "Max relative difference vs loss-free baseline under inflated classical frame loss (Table 5)",
+		Columns: []string{"p_loss", "RelDiff_fidelity", "RelDiff_throughput", "RelDiff_latency", "RelDiff_pairs", "expires"},
+	}
+	for _, loss := range losses {
+		var maxFid, maxTh, maxLat, maxPairs float64
+		expires := 0
+		for _, priority := range kinds {
+			base := baselines[priority]
+			lossy := run(loss, priority)
+			maxFid = maxF(maxFid, metrics.RelativeDifference(base.fidelity, lossy.fidelity))
+			maxTh = maxF(maxTh, metrics.RelativeDifference(base.throughput, lossy.throughput))
+			maxLat = maxF(maxLat, metrics.RelativeDifference(base.latency, lossy.latency))
+			maxPairs = maxF(maxPairs, metrics.RelativeDifference(float64(base.pairs), float64(lossy.pairs)))
+			expires += lossy.expires
+		}
+		table.Rows = append(table.Rows, []string{
+			formatSci(loss), f3(maxFid), f3(maxTh), f3(maxLat), f3(maxPairs), itoa(expires),
+		})
+	}
+	return []Table{table}
+}
+
+func maxF(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/egp"
+	"repro/internal/nv"
+	"repro/internal/workload"
+)
+
+// RunFig6Load reproduces Figure 6(a): the scaled request latency as a
+// function of the offered load fraction f_P for the three request kinds on
+// the QL2020 hardware, with kmax = 3 and Fmin = 0.64.
+func RunFig6Load(opt Options) []Table {
+	loads := []float64{0.3, 0.7, 0.99, 1.2, 1.5}
+	if opt.Quick {
+		loads = []float64{0.7, 1.2}
+	}
+	scenario := nv.ScenarioQL2020
+	if opt.Quick {
+		scenario = nv.ScenarioLab
+	}
+	table := Table{
+		ID:      "fig6a",
+		Caption: "Scaled latency (s) vs offered load fraction f_P (QL2020, kmax=3, Fmin=0.64)",
+		Columns: []string{"f_P", "kind", "scaled_latency(s)", "throughput(1/s)", "queue_len(avg)"},
+	}
+	for _, load := range loads {
+		for _, priority := range priorityOrder {
+			cfg := core.DefaultConfig(scenario)
+			cfg.Seed = opt.Seed + int64(priority) + int64(load*100)
+			classes := []workload.Class{{
+				Priority:    priority,
+				Fraction:    load,
+				MaxPairs:    3,
+				MinFidelity: 0.64,
+			}}
+			net := runScenario(cfg, workload.OriginRandom, classes, opt)
+			table.Rows = append(table.Rows, []string{
+				f3(load),
+				egp.PriorityName(priority),
+				f3(net.Collector.ScaledLatency(priority).Mean()),
+				f3(net.Collector.Throughput(priority)),
+				f3(net.Collector.QueueLength().Mean()),
+			})
+		}
+	}
+	return []Table{table}
+}
+
+// RunFig6Fidelity reproduces Figure 6(b) and 6(c): scaled latency and
+// throughput as a function of the requested minimum fidelity at fixed load
+// f_P = 0.99 (QL2020, kmax = 3).
+func RunFig6Fidelity(opt Options) []Table {
+	fidelities := []float64{0.55, 0.60, 0.64, 0.68, 0.72}
+	if opt.Quick {
+		fidelities = []float64{0.55, 0.64, 0.72}
+	}
+	scenario := nv.ScenarioQL2020
+	if opt.Quick {
+		scenario = nv.ScenarioLab
+	}
+	latencyTable := Table{
+		ID:      "fig6b",
+		Caption: "Scaled latency (s) vs requested minimum fidelity (f_P=0.99, kmax=3)",
+		Columns: []string{"Fmin", "kind", "scaled_latency(s)", "unsupported"},
+	}
+	throughputTable := Table{
+		ID:      "fig6c",
+		Caption: "Throughput (1/s) vs requested minimum fidelity (f_P=0.99, kmax=3)",
+		Columns: []string{"Fmin", "kind", "throughput(1/s)", "avg_fidelity"},
+	}
+	for _, fmin := range fidelities {
+		for _, priority := range priorityOrder {
+			cfg := core.DefaultConfig(scenario)
+			cfg.Seed = opt.Seed + int64(priority) + int64(fmin*1000)
+			classes := []workload.Class{{
+				Priority:    priority,
+				Fraction:    0.99,
+				MaxPairs:    3,
+				MinFidelity: fmin,
+			}}
+			net := runScenario(cfg, workload.OriginRandom, classes, opt)
+			latencyTable.Rows = append(latencyTable.Rows, []string{
+				f3(fmin),
+				egp.PriorityName(priority),
+				f3(net.Collector.ScaledLatency(priority).Mean()),
+				itoa(net.Collector.ErrorCount("UNSUPP")),
+			})
+			throughputTable.Rows = append(throughputTable.Rows, []string{
+				f3(fmin),
+				egp.PriorityName(priority),
+				f3(net.Collector.Throughput(priority)),
+				f3(net.Collector.Fidelity(priority).Mean()),
+			})
+		}
+	}
+	return []Table{latencyTable, throughputTable}
+}

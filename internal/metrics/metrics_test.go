@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Count() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.Count() != 5 || s.Mean() != 3 {
+		t.Fatalf("mean = %v, count = %d", s.Mean(), s.Count())
+	}
+	if math.Abs(s.Variance()-2.5) > 1e-12 {
+		t.Fatalf("variance = %v, want 2.5", s.Variance())
+	}
+	if math.Abs(s.StdErr()-math.Sqrt(2.5/5)) > 1e-12 {
+		t.Fatalf("stderr = %v", s.StdErr())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max wrong: %v %v", s.Min(), s.Max())
+	}
+	if s.Percentile(50) != 3 || s.Percentile(0) != 1 || s.Percentile(100) != 5 {
+		t.Fatalf("percentiles wrong: %v %v %v", s.Percentile(50), s.Percentile(0), s.Percentile(100))
+	}
+	if got := s.Values(); len(got) != 5 || got[0] != 1 {
+		t.Fatal("Values copy wrong")
+	}
+}
+
+func TestRelativeDifference(t *testing.T) {
+	if RelativeDifference(0, 0) != 0 {
+		t.Fatal("0,0 should be 0")
+	}
+	if got := RelativeDifference(10, 8); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("reldiff(10,8) = %v, want 0.2", got)
+	}
+	if got := RelativeDifference(8, 10); math.Abs(got-0.2) > 1e-12 {
+		t.Fatal("relative difference should be symmetric")
+	}
+	if got := RelativeDifference(-4, 4); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("reldiff(-4,4) = %v, want 2", got)
+	}
+}
+
+func TestQBERCounter(t *testing.T) {
+	q := NewQBERCounterPsiPlus()
+	// Ψ+ is anti-correlated in Z: equal outcomes are errors.
+	q.Record(0, 0, 1) // correct
+	q.Record(0, 1, 1) // error
+	// Correlated in X: unequal outcomes are errors.
+	q.Record(1, 0, 0) // correct
+	q.Record(1, 0, 1) // error
+	q.Record(1, 1, 1) // correct
+	z, x, y := q.Rates()
+	if math.Abs(z-0.5) > 1e-12 || math.Abs(x-1.0/3) > 1e-12 || y != 0 {
+		t.Fatalf("rates wrong: %v %v %v", z, x, y)
+	}
+	if q.Samples() != 5 {
+		t.Fatalf("samples = %d", q.Samples())
+	}
+	want := 1 - (0.5+1.0/3)/2
+	if math.Abs(q.FidelityEstimate()-want) > 1e-12 {
+		t.Fatalf("fidelity estimate = %v, want %v", q.FidelityEstimate(), want)
+	}
+}
+
+func TestQBERCounterPerfectCorrelations(t *testing.T) {
+	q := NewQBERCounterPsiPlus()
+	for i := 0; i < 100; i++ {
+		q.Record(0, i%2, 1-i%2) // always anti-correlated in Z
+		q.Record(1, i%2, i%2)   // always correlated in X
+		q.Record(2, i%2, i%2)   // always correlated in Y
+	}
+	if q.FidelityEstimate() != 1 {
+		t.Fatalf("perfect correlations should give F=1, got %v", q.FidelityEstimate())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid basis should panic")
+		}
+	}()
+	q.Record(5, 0, 0)
+}
+
+func TestCollectorThroughputAndLatency(t *testing.T) {
+	c := NewCollector(0)
+	// Request 1: priority 0, 2 pairs, takes 4 seconds.
+	c.RequestSubmitted(1, 0, "A", 2, 0)
+	c.PairDelivered(1, 0, "A", 0.7, sim.Time(2*sim.Second))
+	c.PairDelivered(1, 0, "A", 0.72, sim.Time(4*sim.Second))
+	c.RequestCompleted(1, sim.Time(4*sim.Second))
+	// Request 2: priority 2, 1 pair, takes 1 second.
+	c.RequestSubmitted(2, 2, "B", 1, sim.Time(1*sim.Second))
+	c.PairDelivered(2, 2, "B", 0.8, sim.Time(2*sim.Second))
+	c.RequestCompleted(2, sim.Time(2*sim.Second))
+	c.Finish(sim.Time(10 * sim.Second))
+
+	if got := c.Throughput(0); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("priority-0 throughput = %v, want 0.2", got)
+	}
+	if got := c.TotalThroughput(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("total throughput = %v, want 0.3", got)
+	}
+	if got := c.RequestLatency(0).Mean(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("request latency = %v, want 4", got)
+	}
+	if got := c.ScaledLatency(0).Mean(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("scaled latency = %v, want 2", got)
+	}
+	if got := c.PairLatency(0).Mean(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("pair latency = %v, want 3", got)
+	}
+	if got := c.Fidelity(0).Mean(); math.Abs(got-0.71) > 1e-12 {
+		t.Fatalf("fidelity = %v, want 0.71", got)
+	}
+	if c.OKCount(0) != 2 || c.OKCount(2) != 1 {
+		t.Fatal("OK counts wrong")
+	}
+	if c.OutstandingRequests() != 0 {
+		t.Fatal("no requests should be outstanding")
+	}
+}
+
+func TestCollectorFailuresAndExpires(t *testing.T) {
+	c := NewCollector(0)
+	c.RequestSubmitted(1, 0, "A", 1, 0)
+	c.RequestFailed(1, "TIMEOUT", sim.Time(sim.Second))
+	c.ExpireIssued()
+	c.ExpireIssued()
+	if c.ErrorCount("TIMEOUT") != 1 || c.ErrorCount("DENIED") != 0 {
+		t.Fatal("error counts wrong")
+	}
+	if c.ExpireCount() != 2 {
+		t.Fatal("expire count wrong")
+	}
+	if c.OutstandingRequests() != 0 {
+		t.Fatal("failed request should not be outstanding")
+	}
+	c.RequestSubmitted(2, 0, "A", 1, 0)
+	if c.OutstandingRequests() != 1 {
+		t.Fatal("unfinished request should be outstanding")
+	}
+}
+
+func TestCollectorFairness(t *testing.T) {
+	c := NewCollector(0)
+	for i := uint64(0); i < 10; i++ {
+		origin := "A"
+		if i%2 == 1 {
+			origin = "B"
+		}
+		c.RequestSubmitted(i, 0, origin, 1, 0)
+		c.PairDelivered(i, 0, origin, 0.7, sim.Time(sim.Second))
+		c.RequestCompleted(i, sim.Time(sim.Second))
+	}
+	c.Finish(sim.Time(10 * sim.Second))
+	rep := c.Fairness("A", "B")
+	if rep.FidelityRelDiff != 0 || rep.ThroughputRelDiff != 0 || rep.OKCountRelDiff != 0 || rep.LatencyRelDiff != 0 {
+		t.Fatalf("balanced run should have zero relative differences: %+v", rep)
+	}
+	counts := c.PairsByOrigin()
+	if counts["A"] != 5 || counts["B"] != 5 {
+		t.Fatalf("pairs by origin wrong: %v", counts)
+	}
+}
+
+func TestCollectorQueueAndQBER(t *testing.T) {
+	c := NewCollector(0)
+	c.SampleQueueLength(3)
+	c.SampleQueueLength(5)
+	if c.QueueLength().Mean() != 4 {
+		t.Fatal("queue length mean wrong")
+	}
+	c.RecordQBER(2, 0, 0, 1)
+	c.RecordQBER(2, 0, 0, 1)
+	if c.QBER(2) == nil || c.QBER(2).Samples() != 2 {
+		t.Fatal("QBER recording wrong")
+	}
+	if c.QBER(0) != nil {
+		t.Fatal("unused priority should have nil QBER counter")
+	}
+}
+
+func TestCollectorZeroDuration(t *testing.T) {
+	c := NewCollector(sim.Time(5 * sim.Second))
+	if c.Throughput(0) != 0 || c.TotalThroughput() != 0 || c.DurationSeconds() != 0 {
+		t.Fatal("zero-duration collector should report zero throughput")
+	}
+}
+
+// Property: Series mean always lies between min and max; stderr is
+// non-negative.
+func TestPropertySeriesBounds(t *testing.T) {
+	f := func(values []float64) bool {
+		var s Series
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.StdErr() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: relative difference is symmetric and in [0, 2] for same-sign
+// values.
+func TestPropertyRelativeDifference(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		d1 := RelativeDifference(a, b)
+		d2 := RelativeDifference(b, a)
+		if math.Abs(d1-d2) > 1e-12 {
+			return false
+		}
+		if a >= 0 && b >= 0 {
+			return d1 >= 0 && d1 <= 1+1e-12
+		}
+		return d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: QBER fidelity estimate is always a valid fidelity.
+func TestPropertyQBERFidelityBounds(t *testing.T) {
+	f := func(outcomes []uint8) bool {
+		q := NewQBERCounterPsiPlus()
+		for i, o := range outcomes {
+			q.Record(i%3, int(o)&1, int(o>>1)&1)
+		}
+		fEst := q.FidelityEstimate()
+		return fEst >= 0 && fEst <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

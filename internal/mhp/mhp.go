@@ -1,0 +1,537 @@
+// Package mhp implements the physical-layer Midpoint Heralding Protocol of
+// Section 5.1: the node-side protocol that polls the link layer every MHP
+// cycle, triggers entanglement generation attempts and forwards midpoint
+// replies upwards, and the midpoint (heralding station) service that matches
+// GEN frames from the two nodes, performs the optical Bell-state
+// measurement, and announces the outcome.
+//
+// The package is deliberately stateless on the node side (beyond the pending
+// attempt bookkeeping required to route replies), mirroring the paper's
+// requirement that the physical layer holds no protocol state.
+package mhp
+
+import (
+	"fmt"
+
+	"repro/internal/classical"
+	"repro/internal/nv"
+	"repro/internal/photonics"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// PollDecision is the link layer's answer to the per-cycle trigger poll
+// (the "yes/no + parameters" of Figure 4).
+type PollDecision struct {
+	Attempt bool
+	// QueueID identifies the distributed-queue item this attempt serves; it
+	// is transmitted to the midpoint for consistency checking.
+	QueueID wire.AbsoluteQueueID
+	// Keep is true for create-and-keep (K) attempts, false for
+	// measure-directly (M).
+	Keep bool
+	// Alpha is the bright-state population to use.
+	Alpha float64
+	// MeasureBasis is the basis for M attempts (0=Z,1=X,2=Y).
+	MeasureBasis quantum.BasisLabel
+	// StorageQubit is the memory qubit to move the pair to for K attempts
+	// (CommQubitID to keep it in the communication qubit).
+	StorageQubit nv.QubitID
+}
+
+// Result is what the node-side MHP passes back up to the link layer after a
+// reply (or local failure), corresponding to the RESULT of Protocol 1.
+type Result struct {
+	Outcome   wire.MHPOutcome
+	MHPSeq    uint16
+	QueueID   wire.AbsoluteQueueID // this node's submitted queue ID
+	PeerQueue wire.AbsoluteQueueID // the peer's submitted queue ID as echoed by H
+	// Keep/MeasureBasis/StorageQubit/Alpha echo the attempt parameters so the
+	// link layer can complete post-processing.
+	Keep         bool
+	MeasureBasis quantum.BasisLabel
+	StorageQubit nv.QubitID
+	Alpha        float64
+	// Pair is this node's view of the freshly generated entangled pair when
+	// Outcome.Success() is true (claimed from the shared pair registry).
+	Pair *nv.EntangledPair
+	// AttemptCycle is the MHP cycle in which the attempt was triggered.
+	AttemptCycle uint64
+}
+
+// Generator is implemented by the link layer (EGP): it is polled once per
+// MHP cycle and receives results asynchronously.
+type Generator interface {
+	// PollTrigger is called at the start of every MHP cycle.
+	PollTrigger(cycle uint64) PollDecision
+	// HandleResult delivers the outcome of a previously triggered attempt.
+	HandleResult(r Result)
+}
+
+// PairRegistry shares freshly generated entangled pairs between the midpoint
+// (which creates them) and the two nodes' link layers (which claim their
+// side upon receiving the REPLY). It stands in for "the qubit is already
+// physically at the node" — only classical information travels in REPLY.
+type PairRegistry struct {
+	pairs map[uint16]*nv.EntangledPair
+}
+
+// NewPairRegistry creates an empty registry.
+func NewPairRegistry() *PairRegistry {
+	return &PairRegistry{pairs: make(map[uint16]*nv.EntangledPair)}
+}
+
+// Put stores the pair generated for the given midpoint sequence number. The
+// registry keeps a bounded history: entries far behind the newest sequence
+// number are pruned, since both nodes have long since processed (or expired)
+// them.
+func (r *PairRegistry) Put(seq uint16, pair *nv.EntangledPair) {
+	r.pairs[seq] = pair
+	if len(r.pairs) > 2048 {
+		for s := range r.pairs {
+			if seq-s > 1024 { // uint16 wrap-around distance
+				delete(r.pairs, s)
+			}
+		}
+	}
+}
+
+// Get returns the pair for a midpoint sequence number, or nil.
+func (r *PairRegistry) Get(seq uint16) *nv.EntangledPair { return r.pairs[seq] }
+
+// Forget drops a pair from the registry once both sides have claimed it (or
+// it expired).
+func (r *PairRegistry) Forget(seq uint16) { delete(r.pairs, seq) }
+
+// Len returns how many pairs are registered.
+func (r *PairRegistry) Len() int { return len(r.pairs) }
+
+// genPayload is the payload travelling from a node to the midpoint: the
+// encoded GEN frame plus the physical "photon" (its emission parameters).
+// The photon cannot be lost independently of the frame here because photon
+// loss is already part of the optical model sampled at the midpoint; what
+// matters for protocol robustness is losing the classical frame.
+type genPayload struct {
+	frame []byte
+	alpha float64
+	node  string
+	cycle uint64
+}
+
+// replyPayload carries the encoded REPLY frame from the midpoint to a node.
+type replyPayload struct {
+	frame []byte
+}
+
+// Node is the node-side MHP instance.
+type Node struct {
+	Name string
+
+	simul    *sim.Simulator
+	gen      Generator
+	device   *nv.Device
+	registry *PairRegistry
+	side     nv.PairSide
+
+	toMidpoint *classical.Channel
+
+	cycle        uint64
+	cycleTimeK   sim.Duration
+	cycleTimeM   sim.Duration
+	pending      map[uint64]PollDecision // attempts awaiting a REPLY, by cycle
+	attemptCount uint64
+	localFails   uint64
+
+	// CommBusy tracks whether the communication qubit is mid-attempt for a
+	// K request (the EGP uses this to avoid double-triggering).
+	awaitingReply bool
+}
+
+// NodeConfig collects the parameters needed to construct a node-side MHP.
+type NodeConfig struct {
+	Name       string
+	Sim        *sim.Simulator
+	Generator  Generator
+	Device     *nv.Device
+	Registry   *PairRegistry
+	Side       nv.PairSide
+	ToMidpoint *classical.Channel
+	CycleTimeK sim.Duration
+	CycleTimeM sim.Duration
+}
+
+// NewNode builds a node-side MHP instance.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Sim == nil || cfg.Generator == nil || cfg.Device == nil || cfg.Registry == nil || cfg.ToMidpoint == nil {
+		panic("mhp: incomplete node configuration")
+	}
+	return &Node{
+		Name:       cfg.Name,
+		simul:      cfg.Sim,
+		gen:        cfg.Generator,
+		device:     cfg.Device,
+		registry:   cfg.Registry,
+		side:       cfg.Side,
+		toMidpoint: cfg.ToMidpoint,
+		cycleTimeK: cfg.CycleTimeK,
+		cycleTimeM: cfg.CycleTimeM,
+		pending:    make(map[uint64]PollDecision),
+	}
+}
+
+// Cycle returns the current MHP cycle number.
+func (n *Node) Cycle() uint64 { return n.cycle }
+
+// Attempts returns how many attempts this node has triggered.
+func (n *Node) Attempts() uint64 { return n.attemptCount }
+
+// Start begins the periodic MHP cycle using the M-type cycle period as the
+// base clock (the finest granularity at which the EGP can be polled); the
+// EGP's scheduler is responsible for not triggering K attempts faster than
+// the hardware allows.
+func (n *Node) Start() (stop func()) {
+	period := n.cycleTimeM
+	if period <= 0 {
+		period = n.cycleTimeK
+	}
+	if period <= 0 {
+		panic("mhp: node has no positive cycle time")
+	}
+	return n.simul.Ticker(period, n.runCycle)
+}
+
+// runCycle executes one MHP cycle: poll the EGP and trigger if requested.
+func (n *Node) runCycle() {
+	n.cycle++
+	// Periodically discard pending-attempt state whose REPLY was evidently
+	// lost, so the map stays bounded during long lossy runs.
+	if n.cycle%1024 == 0 && len(n.pending) > 0 && n.cycle > 4096 {
+		n.DropPending(n.cycle - 4096)
+	}
+	decision := n.gen.PollTrigger(n.cycle)
+	if !decision.Attempt {
+		return
+	}
+	// Local hardware failure path (GEN_FAIL): initialising the communication
+	// qubit can fail; modelled as an immediate local error result. The
+	// electron initialisation infidelity is already part of the optical
+	// model, so here GEN_FAIL only fires when the communication qubit is
+	// unavailable (should not happen if the EGP tracks state correctly).
+	if decision.Keep && !n.device.CommFree() {
+		n.localFails++
+		n.gen.HandleResult(Result{
+			Outcome:      wire.ErrGeneralFailure,
+			QueueID:      decision.QueueID,
+			Keep:         decision.Keep,
+			Alpha:        decision.Alpha,
+			AttemptCycle: n.cycle,
+		})
+		return
+	}
+	n.attemptCount++
+	// Triggering an attempt dephases carbon-stored pairs at this node
+	// (Appendix D.4.1).
+	n.device.ApplyAttemptDephasing(decision.Alpha)
+
+	frame := wire.GENFrame{QueueID: decision.QueueID, Timestamp: n.cycle}
+	n.pending[n.cycle] = decision
+	n.toMidpoint.Send(genPayload{
+		frame: frame.Encode(),
+		alpha: decision.Alpha,
+		node:  n.Name,
+		cycle: n.cycle,
+	})
+}
+
+// HandleReply processes a REPLY frame delivered from the midpoint.
+func (n *Node) HandleReply(msg classical.Message) {
+	payload, ok := msg.Payload.(replyPayload)
+	if !ok {
+		return
+	}
+	reply, err := wire.DecodeREPLY(payload.frame)
+	if err != nil {
+		return
+	}
+	// Match the reply to the pending attempt by the echoed queue ID; the
+	// cycle association is recovered from the pending map (oldest first).
+	var cycle uint64
+	var decision PollDecision
+	found := false
+	for c, d := range n.pending {
+		if d.QueueID == reply.QueueID && (!found || c < cycle) {
+			cycle, decision, found = c, d, true
+		}
+	}
+	if found {
+		delete(n.pending, cycle)
+	}
+	result := Result{
+		Outcome:      reply.Outcome,
+		MHPSeq:       reply.MHPSeq,
+		QueueID:      reply.QueueID,
+		PeerQueue:    reply.PeerQueue,
+		Keep:         decision.Keep,
+		MeasureBasis: decision.MeasureBasis,
+		StorageQubit: decision.StorageQubit,
+		Alpha:        decision.Alpha,
+		AttemptCycle: cycle,
+	}
+	if reply.Outcome.Success() {
+		result.Pair = n.registry.Get(reply.MHPSeq)
+	}
+	n.gen.HandleResult(result)
+}
+
+// PendingAttempts returns how many attempts are awaiting a REPLY (used by
+// tests and by the EGP's emission-multiplexing logic).
+func (n *Node) PendingAttempts() int { return len(n.pending) }
+
+// DropPending discards pending attempt state older than the given cycle;
+// used by the EGP when it declares attempts lost.
+func (n *Node) DropPending(olderThan uint64) {
+	for c := range n.pending {
+		if c < olderThan {
+			delete(n.pending, c)
+		}
+	}
+}
+
+// Midpoint is the heralding-station service: it pairs up GEN frames arriving
+// from A and B in the same detection time window, consults the optical model
+// for the measurement outcome, and sends REPLY frames to both nodes.
+type Midpoint struct {
+	simul    *sim.Simulator
+	sampler  *photonics.LinkSampler
+	registry *PairRegistry
+
+	toA *classical.Channel
+	toB *classical.Channel
+
+	// windowCycles is how many MHP cycles apart two GEN messages may be and
+	// still be considered the same attempt (the detection time window).
+	windowCycles uint64
+	// holdTime is how long an unmatched GEN is held waiting for the peer's
+	// GEN of the same cycle before the attempt is reported back as
+	// NO_MESSAGE_OTHER. It must exceed the propagation asymmetry of the two
+	// arms plus scheduling jitter.
+	holdTime sim.Duration
+
+	seq uint16
+	// waiting holds unmatched GEN frames per node, keyed by the attempt
+	// cycle carried in the frame's timestamp: the station links messages to
+	// detection windows by timestamp, not by arrival order, so emission
+	// multiplexing over asymmetric fibre arms pairs the right attempts.
+	waiting map[string]map[uint64]genPayload
+
+	// Statistics.
+	matched       uint64
+	successes     uint64
+	timeMismatch  uint64
+	queueMismatch uint64
+	noOther       uint64
+}
+
+// MidpointConfig collects the construction parameters of a Midpoint.
+type MidpointConfig struct {
+	Sim          *sim.Simulator
+	Sampler      *photonics.LinkSampler
+	Registry     *PairRegistry
+	ToA          *classical.Channel
+	ToB          *classical.Channel
+	WindowCycles uint64
+	// HoldTime bounds how long an unmatched GEN waits for its counterpart;
+	// it defaults to 500 µs which covers the QL2020 arm asymmetry with ample
+	// margin.
+	HoldTime sim.Duration
+}
+
+// NewMidpoint builds the heralding-station service.
+func NewMidpoint(cfg MidpointConfig) *Midpoint {
+	if cfg.Sim == nil || cfg.Sampler == nil || cfg.Registry == nil || cfg.ToA == nil || cfg.ToB == nil {
+		panic("mhp: incomplete midpoint configuration")
+	}
+	w := cfg.WindowCycles
+	if w == 0 {
+		w = 1
+	}
+	hold := cfg.HoldTime
+	if hold <= 0 {
+		hold = 500 * sim.Microsecond
+	}
+	return &Midpoint{
+		simul:        cfg.Sim,
+		sampler:      cfg.Sampler,
+		registry:     cfg.Registry,
+		toA:          cfg.ToA,
+		toB:          cfg.ToB,
+		windowCycles: w,
+		holdTime:     hold,
+		waiting:      map[string]map[uint64]genPayload{"A": {}, "B": {}},
+	}
+}
+
+// Stats reports the midpoint's counters: matched attempt pairs, heralded
+// successes, and the three error classes.
+func (m *Midpoint) Stats() (matched, successes, timeMismatch, queueMismatch, noOther uint64) {
+	return m.matched, m.successes, m.timeMismatch, m.queueMismatch, m.noOther
+}
+
+// Sequence returns the next MHP sequence number to be assigned.
+func (m *Midpoint) Sequence() uint16 { return m.seq }
+
+// HandleGEN processes a GEN frame (and accompanying photon) from either node.
+func (m *Midpoint) HandleGEN(msg classical.Message) {
+	payload, ok := msg.Payload.(genPayload)
+	if !ok {
+		return
+	}
+	if _, err := wire.DecodeGEN(payload.frame); err != nil {
+		return
+	}
+	other := "A"
+	if payload.node == "A" {
+		other = "B"
+	}
+	// Link the message to a detection window by its timestamp: look for a
+	// waiting peer GEN whose cycle lies within the detection window.
+	peer, haveMatch := m.findPeerGEN(other, payload.cycle)
+	if !haveMatch {
+		// Hold this GEN waiting for the peer's; if it never arrives the
+		// attempt is reported back as NO_MESSAGE_OTHER (or TIME_MISMATCH
+		// when the peer was attempting different cycles).
+		m.waiting[payload.node][payload.cycle] = payload
+		m.simul.Schedule(m.holdTime, func() {
+			if held, still := m.waiting[payload.node][payload.cycle]; still && held.cycle == payload.cycle {
+				delete(m.waiting[payload.node], payload.cycle)
+				if len(m.waiting[other]) > 0 {
+					m.timeMismatch++
+					m.sendError(payload, wire.ErrTimeMismatch)
+				} else {
+					m.noOther++
+					m.sendError(payload, wire.ErrNoMessageOther)
+				}
+			}
+		})
+		return
+	}
+	delete(m.waiting[other], peer.cycle)
+
+	genSelf, _ := wire.DecodeGEN(payload.frame)
+	genPeer, _ := wire.DecodeGEN(peer.frame)
+
+	// Queue-ID consistency check.
+	if genSelf.QueueID != genPeer.QueueID {
+		m.queueMismatch++
+		m.sendErrorBoth(payload, peer, wire.ErrQueueMismatch, genSelf.QueueID, genPeer.QueueID)
+		return
+	}
+	m.matched++
+
+	// Perform the optical Bell-state measurement. By convention A is the
+	// first argument.
+	alphaA, alphaB := payload.alpha, peer.alpha
+	if payload.node == "B" {
+		alphaA, alphaB = peer.alpha, payload.alpha
+	}
+	res := m.sampler.Sample(alphaA, alphaB, m.simul.RNG())
+
+	outcome := wire.OutcomeFailure
+	switch res.Outcome {
+	case photonics.OutcomePsiPlus:
+		outcome = wire.OutcomeStateOne
+	case photonics.OutcomePsiMinus:
+		outcome = wire.OutcomeStateTwo
+	}
+	var seq uint16
+	if outcome.Success() {
+		m.seq++
+		seq = m.seq
+		m.successes++
+		heralded := quantum.PsiPlus
+		if outcome == wire.OutcomeStateTwo {
+			heralded = quantum.PsiMinus
+		}
+		pair := nv.NewEntangledPair(res.State, heralded, m.simul.Now())
+		m.registry.Put(seq, pair)
+	}
+
+	// Send REPLY to both nodes, echoing each node's own queue ID first.
+	m.sendReply("A", outcome, seq, genQueueForNode("A", payload, peer, genSelf, genPeer), genQueueForNode("B", payload, peer, genSelf, genPeer))
+	m.sendReply("B", outcome, seq, genQueueForNode("B", payload, peer, genSelf, genPeer), genQueueForNode("A", payload, peer, genSelf, genPeer))
+}
+
+// findPeerGEN returns a waiting GEN from the named node whose cycle is
+// within the detection window of the given cycle.
+func (m *Midpoint) findPeerGEN(node string, cycle uint64) (genPayload, bool) {
+	if p, ok := m.waiting[node][cycle]; ok {
+		return p, true
+	}
+	for d := uint64(1); d < m.windowCycles; d++ {
+		if p, ok := m.waiting[node][cycle-d]; ok {
+			return p, true
+		}
+		if p, ok := m.waiting[node][cycle+d]; ok {
+			return p, true
+		}
+	}
+	return genPayload{}, false
+}
+
+// genQueueForNode returns the queue ID submitted by the named node, given
+// the two payloads and their decoded frames.
+func genQueueForNode(node string, p1, p2 genPayload, f1, f2 wire.GENFrame) wire.AbsoluteQueueID {
+	if p1.node == node {
+		return f1.QueueID
+	}
+	if p2.node == node {
+		return f2.QueueID
+	}
+	return wire.AbsoluteQueueID{}
+}
+
+// sendReply transmits a REPLY frame to the named node.
+func (m *Midpoint) sendReply(node string, outcome wire.MHPOutcome, seq uint16, own, peer wire.AbsoluteQueueID) {
+	frame := wire.REPLYFrame{Outcome: outcome, MHPSeq: seq, QueueID: own, PeerQueue: peer}
+	ch := m.toA
+	if node == "B" {
+		ch = m.toB
+	}
+	ch.Send(replyPayload{frame: frame.Encode()})
+}
+
+// sendError sends an error REPLY to the single node that sent a GEN.
+func (m *Midpoint) sendError(p genPayload, code wire.MHPOutcome) {
+	gen, err := wire.DecodeGEN(p.frame)
+	if err != nil {
+		return
+	}
+	m.sendReply(p.node, code, 0, gen.QueueID, wire.AbsoluteQueueID{})
+}
+
+// sendErrorBoth sends an error REPLY to both nodes.
+func (m *Midpoint) sendErrorBoth(p1, p2 genPayload, code wire.MHPOutcome, q1, q2 wire.AbsoluteQueueID) {
+	m.sendReplyFor(p1.node, code, q1, q2)
+	m.sendReplyFor(p2.node, code, q2, q1)
+}
+
+func (m *Midpoint) sendReplyFor(node string, code wire.MHPOutcome, own, peer wire.AbsoluteQueueID) {
+	m.sendReply(node, code, 0, own, peer)
+}
+
+// String summarises midpoint statistics for diagnostics.
+func (m *Midpoint) String() string {
+	return fmt.Sprintf("midpoint{matched=%d success=%d timeMismatch=%d queueMismatch=%d noOther=%d}",
+		m.matched, m.successes, m.timeMismatch, m.queueMismatch, m.noOther)
+}
+
+// NewGENPayload builds the channel payload for a GEN frame; exported for the
+// core network wiring and tests.
+func NewGENPayload(frame []byte, alpha float64, node string, cycle uint64) any {
+	return genPayload{frame: frame, alpha: alpha, node: node, cycle: cycle}
+}
+
+// NewREPLYPayload builds the channel payload for a REPLY frame; exported for
+// tests.
+func NewREPLYPayload(frame []byte) any { return replyPayload{frame: frame} }

@@ -1,0 +1,312 @@
+package mhp
+
+import (
+	"testing"
+
+	"repro/internal/classical"
+	"repro/internal/nv"
+	"repro/internal/photonics"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// stubGenerator is a scripted link layer: it answers polls from a queue of
+// decisions and records every result it receives.
+type stubGenerator struct {
+	decisions []PollDecision
+	results   []Result
+}
+
+func (s *stubGenerator) PollTrigger(cycle uint64) PollDecision {
+	if len(s.decisions) == 0 {
+		return PollDecision{}
+	}
+	d := s.decisions[0]
+	s.decisions = s.decisions[1:]
+	return d
+}
+
+func (s *stubGenerator) HandleResult(r Result) { s.results = append(s.results, r) }
+
+// harness wires two MHP nodes and a midpoint over zero-loss channels.
+type harness struct {
+	s        *sim.Simulator
+	genA     *stubGenerator
+	genB     *stubGenerator
+	nodeA    *Node
+	nodeB    *Node
+	mid      *Midpoint
+	registry *PairRegistry
+}
+
+func newHarness(t *testing.T, loss float64) *harness {
+	t.Helper()
+	h := &harness{s: sim.New(9), genA: &stubGenerator{}, genB: &stubGenerator{}}
+	platform := nv.LabPlatform()
+	h.registry = NewPairRegistry()
+	sampler := photonics.NewLinkSampler(platform.Optics)
+	devA := nv.NewDevice("A", platform.Gates, platform.CarbonCoupling, 1)
+	devB := nv.NewDevice("B", platform.Gates, platform.CarbonCoupling, 1)
+
+	chanAtoH := classical.NewChannel("a->h", h.s, 10*sim.Nanosecond, loss, func(m classical.Message) { h.mid.HandleGEN(m) })
+	chanBtoH := classical.NewChannel("b->h", h.s, 10*sim.Nanosecond, loss, func(m classical.Message) { h.mid.HandleGEN(m) })
+	chanHtoA := classical.NewChannel("h->a", h.s, 10*sim.Nanosecond, loss, func(m classical.Message) { h.nodeA.HandleReply(m) })
+	chanHtoB := classical.NewChannel("h->b", h.s, 10*sim.Nanosecond, loss, func(m classical.Message) { h.nodeB.HandleReply(m) })
+
+	h.nodeA = NewNode(NodeConfig{
+		Name: "A", Sim: h.s, Generator: h.genA, Device: devA, Registry: h.registry, Side: nv.SideA,
+		ToMidpoint: chanAtoH, CycleTimeM: sim.DurationMicroseconds(10.12), CycleTimeK: sim.DurationMicroseconds(11),
+	})
+	h.nodeB = NewNode(NodeConfig{
+		Name: "B", Sim: h.s, Generator: h.genB, Device: devB, Registry: h.registry, Side: nv.SideB,
+		ToMidpoint: chanBtoH, CycleTimeM: sim.DurationMicroseconds(10.12), CycleTimeK: sim.DurationMicroseconds(11),
+	})
+	h.mid = NewMidpoint(MidpointConfig{
+		Sim: h.s, Sampler: sampler, Registry: h.registry,
+		ToA: chanHtoA, ToB: chanHtoB, WindowCycles: 1, HoldTime: 100 * sim.Microsecond,
+	})
+	return h
+}
+
+func attemptDecision(qid wire.AbsoluteQueueID, alpha float64) PollDecision {
+	return PollDecision{Attempt: true, QueueID: qid, Keep: false, Alpha: alpha, MeasureBasis: quantum.BasisZ}
+}
+
+func TestMatchedAttemptProducesReplies(t *testing.T) {
+	h := newHarness(t, 0)
+	qid := wire.AbsoluteQueueID{QueueID: 2, QueueSeq: 1}
+	// Use alpha = 0.5 repeatedly so a success shows up quickly; run many
+	// cycles and check that both nodes receive one result per attempt.
+	const cycles = 400
+	for i := 0; i < cycles; i++ {
+		h.genA.decisions = append(h.genA.decisions, attemptDecision(qid, 0.5))
+		h.genB.decisions = append(h.genB.decisions, attemptDecision(qid, 0.5))
+	}
+	stopA := h.nodeA.Start()
+	stopB := h.nodeB.Start()
+	_ = h.s.RunFor(sim.Duration(cycles+10) * sim.DurationMicroseconds(10.12))
+	stopA()
+	stopB()
+
+	if len(h.genA.results) == 0 || len(h.genB.results) == 0 {
+		t.Fatal("both nodes should receive results")
+	}
+	if len(h.genA.results) != len(h.genB.results) {
+		t.Fatalf("result counts differ: %d vs %d", len(h.genA.results), len(h.genB.results))
+	}
+	matched, _, timeMis, queueMis, _ := h.mid.Stats()
+	if matched == 0 {
+		t.Fatal("midpoint should match attempts")
+	}
+	if timeMis != 0 || queueMis != 0 {
+		t.Fatalf("synchronised attempts should not mismatch: time=%d queue=%d", timeMis, queueMis)
+	}
+	// Every result must echo the submitted queue ID.
+	for _, r := range h.genA.results {
+		if r.QueueID != qid {
+			t.Fatalf("result echoes wrong queue ID: %v", r.QueueID)
+		}
+		if r.Outcome.IsError() {
+			t.Fatalf("unexpected protocol error: %v", r.Outcome)
+		}
+	}
+}
+
+func TestSuccessRegistersPairForBothNodes(t *testing.T) {
+	h := newHarness(t, 0)
+	qid := wire.AbsoluteQueueID{QueueID: 2, QueueSeq: 3}
+	const cycles = 3000
+	for i := 0; i < cycles; i++ {
+		h.genA.decisions = append(h.genA.decisions, attemptDecision(qid, 0.5))
+		h.genB.decisions = append(h.genB.decisions, attemptDecision(qid, 0.5))
+	}
+	stopA := h.nodeA.Start()
+	stopB := h.nodeB.Start()
+	_ = h.s.RunFor(sim.Duration(cycles+10) * sim.DurationMicroseconds(10.12))
+	stopA()
+	stopB()
+
+	var successA, successB int
+	for _, r := range h.genA.results {
+		if r.Outcome.Success() {
+			successA++
+			if r.Pair == nil {
+				t.Fatal("successful result should carry the shared pair")
+			}
+			if r.MHPSeq == 0 {
+				t.Fatal("successful result should carry a sequence number")
+			}
+		}
+	}
+	for _, r := range h.genB.results {
+		if r.Outcome.Success() {
+			successB++
+			if r.Pair == nil {
+				t.Fatal("peer's successful result should carry the shared pair")
+			}
+		}
+	}
+	_, successes, _, _, _ := h.mid.Stats()
+	if successes == 0 {
+		t.Skip("no heralded success in this bounded run (psucc ≈ 3e-4); statistical")
+	}
+	if uint64(successA) != successes || uint64(successB) != successes {
+		t.Fatalf("success counts disagree: midpoint=%d A=%d B=%d", successes, successA, successB)
+	}
+}
+
+func TestQueueMismatchReported(t *testing.T) {
+	h := newHarness(t, 0)
+	qidA := wire.AbsoluteQueueID{QueueID: 2, QueueSeq: 1}
+	qidB := wire.AbsoluteQueueID{QueueID: 2, QueueSeq: 9}
+	h.genA.decisions = []PollDecision{attemptDecision(qidA, 0.3)}
+	h.genB.decisions = []PollDecision{attemptDecision(qidB, 0.3)}
+	stopA := h.nodeA.Start()
+	stopB := h.nodeB.Start()
+	_ = h.s.RunFor(2 * sim.Millisecond)
+	stopA()
+	stopB()
+
+	_, _, _, queueMis, _ := h.mid.Stats()
+	if queueMis != 1 {
+		t.Fatalf("expected one queue mismatch, got %d", queueMis)
+	}
+	if len(h.genA.results) != 1 || h.genA.results[0].Outcome != wire.ErrQueueMismatch {
+		t.Fatalf("node A should receive QUEUE_MISMATCH, got %+v", h.genA.results)
+	}
+	if len(h.genB.results) != 1 || h.genB.results[0].Outcome != wire.ErrQueueMismatch {
+		t.Fatalf("node B should receive QUEUE_MISMATCH, got %+v", h.genB.results)
+	}
+	// The error reply echoes both nodes' submitted IDs.
+	if h.genA.results[0].PeerQueue != qidB {
+		t.Fatalf("peer queue ID not echoed: %v", h.genA.results[0].PeerQueue)
+	}
+}
+
+func TestNoMessageOtherReported(t *testing.T) {
+	h := newHarness(t, 0)
+	qid := wire.AbsoluteQueueID{QueueID: 1, QueueSeq: 1}
+	// Only node A attempts.
+	h.genA.decisions = []PollDecision{attemptDecision(qid, 0.3)}
+	stopA := h.nodeA.Start()
+	stopB := h.nodeB.Start()
+	_ = h.s.RunFor(2 * sim.Millisecond)
+	stopA()
+	stopB()
+
+	_, _, _, _, noOther := h.mid.Stats()
+	if noOther != 1 {
+		t.Fatalf("expected one NO_MESSAGE_OTHER, got %d", noOther)
+	}
+	if len(h.genA.results) != 1 || h.genA.results[0].Outcome != wire.ErrNoMessageOther {
+		t.Fatalf("node A should receive NO_MESSAGE_OTHER, got %+v", h.genA.results)
+	}
+	if len(h.genB.results) != 0 {
+		t.Fatal("node B never attempted and should receive nothing")
+	}
+}
+
+func TestTimestampMatchingUnderOffset(t *testing.T) {
+	// A attempts in cycle 1, B only in cycle 3: the station must not pair
+	// them; both eventually receive TIME_MISMATCH or NO_MESSAGE_OTHER.
+	h := newHarness(t, 0)
+	qid := wire.AbsoluteQueueID{QueueID: 1, QueueSeq: 1}
+	h.genA.decisions = []PollDecision{attemptDecision(qid, 0.3)}
+	h.genB.decisions = []PollDecision{{}, {}, attemptDecision(qid, 0.3)}
+	stopA := h.nodeA.Start()
+	stopB := h.nodeB.Start()
+	_ = h.s.RunFor(2 * sim.Millisecond)
+	stopA()
+	stopB()
+
+	matched, _, timeMis, _, noOther := h.mid.Stats()
+	if matched != 0 {
+		t.Fatal("attempts from different cycles must not be matched")
+	}
+	if timeMis+noOther < 2 {
+		t.Fatalf("both unmatched attempts should be reported: time=%d noOther=%d", timeMis, noOther)
+	}
+}
+
+func TestGENFailWhenCommBusy(t *testing.T) {
+	h := newHarness(t, 0)
+	// Occupy node A's communication qubit so a K attempt cannot start.
+	pair := nv.NewEntangledPair(quantum.NewBellState(quantum.PsiPlus), quantum.PsiPlus, 0)
+	if err := h.nodeA.device.StorePair(pair, nv.SideA); err != nil {
+		t.Fatalf("StorePair: %v", err)
+	}
+	h.genA.decisions = []PollDecision{{Attempt: true, Keep: true, Alpha: 0.3, QueueID: wire.AbsoluteQueueID{}}}
+	stopA := h.nodeA.Start()
+	_ = h.s.RunFor(100 * sim.Microsecond)
+	stopA()
+	if len(h.genA.results) != 1 || h.genA.results[0].Outcome != wire.ErrGeneralFailure {
+		t.Fatalf("expected a local GEN_FAIL, got %+v", h.genA.results)
+	}
+	if h.nodeA.Attempts() != 0 {
+		t.Fatal("a failed local attempt must not reach the midpoint")
+	}
+}
+
+func TestPairRegistry(t *testing.T) {
+	r := NewPairRegistry()
+	if r.Len() != 0 || r.Get(1) != nil {
+		t.Fatal("fresh registry should be empty")
+	}
+	pair := nv.NewEntangledPair(quantum.NewBellState(quantum.PsiPlus), quantum.PsiPlus, 0)
+	r.Put(5, pair)
+	if r.Get(5) != pair || r.Len() != 1 {
+		t.Fatal("registry lookup failed")
+	}
+	r.Forget(5)
+	if r.Get(5) != nil || r.Len() != 0 {
+		t.Fatal("Forget should remove the pair")
+	}
+	// The registry prunes entries far behind the newest sequence number.
+	for seq := uint16(1); seq <= 3000; seq++ {
+		r.Put(seq, pair)
+	}
+	if r.Len() > 2100 {
+		t.Fatalf("registry should prune old entries, holds %d", r.Len())
+	}
+	if r.Get(3000) == nil {
+		t.Fatal("recent entries must survive pruning")
+	}
+}
+
+func TestNodeCycleCountingAndPending(t *testing.T) {
+	h := newHarness(t, 1.0) // every frame is lost
+	qid := wire.AbsoluteQueueID{QueueID: 1, QueueSeq: 1}
+	h.genA.decisions = []PollDecision{attemptDecision(qid, 0.3), attemptDecision(qid, 0.3)}
+	stopA := h.nodeA.Start()
+	_ = h.s.RunFor(100 * sim.Microsecond)
+	stopA()
+	if h.nodeA.Cycle() == 0 {
+		t.Fatal("cycles should advance")
+	}
+	if h.nodeA.Attempts() != 2 {
+		t.Fatalf("both attempts should be triggered, got %d", h.nodeA.Attempts())
+	}
+	if h.nodeA.PendingAttempts() != 2 {
+		t.Fatalf("lost replies leave attempts pending, got %d", h.nodeA.PendingAttempts())
+	}
+	h.nodeA.DropPending(h.nodeA.Cycle() + 1)
+	if h.nodeA.PendingAttempts() != 0 {
+		t.Fatal("DropPending should clear stale attempts")
+	}
+}
+
+func TestMidpointIgnoresGarbage(t *testing.T) {
+	h := newHarness(t, 0)
+	h.mid.HandleGEN(classical.Message{Payload: "not a payload"})
+	h.mid.HandleGEN(classical.Message{Payload: NewGENPayload([]byte{0xFF, 0x00}, 0.1, "A", 1)})
+	h.nodeA.HandleReply(classical.Message{Payload: "nonsense"})
+	h.nodeA.HandleReply(classical.Message{Payload: NewREPLYPayload([]byte{0x01})})
+	matched, successes, _, _, _ := h.mid.Stats()
+	if matched != 0 || successes != 0 {
+		t.Fatal("garbage input should be ignored")
+	}
+	if h.mid.String() == "" {
+		t.Fatal("midpoint should describe itself")
+	}
+}

@@ -1,0 +1,351 @@
+package nv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/quantum"
+	"repro/internal/sim"
+)
+
+// QubitKind distinguishes the optically active communication qubit
+// (electron spin) from storage qubits (carbon-13 nuclear spins).
+type QubitKind int
+
+// Qubit kinds on the NV platform.
+const (
+	CommunicationQubit QubitKind = iota
+	MemoryQubit
+)
+
+// String renders the kind.
+func (k QubitKind) String() string {
+	if k == CommunicationQubit {
+		return "communication"
+	}
+	return "memory"
+}
+
+// QubitID addresses a physical qubit inside one device: 0 is the
+// communication qubit, 1..MemoryQubits are carbon memory qubits.
+type QubitID int
+
+// CommQubitID is the identifier of the single communication qubit.
+const CommQubitID QubitID = 0
+
+// Errors returned by device operations.
+var (
+	ErrQubitBusy     = errors.New("nv: qubit already holds entanglement")
+	ErrQubitFree     = errors.New("nv: qubit does not hold entanglement")
+	ErrNoSuchQubit   = errors.New("nv: no such qubit")
+	ErrCommBusy      = errors.New("nv: communication qubit busy")
+	ErrMoveNeedsComm = errors.New("nv: move-to-memory requires the pair to be in the communication qubit")
+)
+
+// PairSide says which end of an entangled pair a device holds.
+type PairSide int
+
+// Pair sides; SideA is qubit 0 of the joint state, SideB qubit 1.
+const (
+	SideA PairSide = iota
+	SideB
+)
+
+// EntangledPair is the shared representation of one entangled link: the
+// joint two-qubit density matrix plus per-side bookkeeping of where the
+// qubit is stored and when decoherence was last applied.
+type EntangledPair struct {
+	State      *quantum.State // qubit 0 = side A, qubit 1 = side B
+	CreatedAt  sim.Time
+	HeraldedAs quantum.BellState // the Bell state announced by the midpoint (after any correction)
+	// DeliveredFidelity caches the fidelity of the pair at the moment the
+	// first node delivered it to its higher layer, before any destructive
+	// measurement collapsed the joint state. Zero means "not yet recorded".
+	DeliveredFidelity float64
+
+	kind       [2]QubitKind
+	qubit      [2]QubitID
+	lastUpdate [2]sim.Time
+}
+
+// NewEntangledPair wraps a freshly heralded two-qubit state. Both sides
+// start in their communication qubits.
+func NewEntangledPair(state *quantum.State, heralded quantum.BellState, now sim.Time) *EntangledPair {
+	if state.NumQubits() != 2 {
+		panic("nv: entangled pair must be a two-qubit state")
+	}
+	p := &EntangledPair{State: state, CreatedAt: now, HeraldedAs: heralded}
+	for s := 0; s < 2; s++ {
+		p.kind[s] = CommunicationQubit
+		p.qubit[s] = CommQubitID
+		p.lastUpdate[s] = now
+	}
+	return p
+}
+
+// Kind returns which kind of qubit currently stores the given side.
+func (p *EntangledPair) Kind(side PairSide) QubitKind { return p.kind[side] }
+
+// Qubit returns the physical qubit ID storing the given side.
+func (p *EntangledPair) Qubit(side PairSide) QubitID { return p.qubit[side] }
+
+// Fidelity returns the current fidelity with the heralded Bell state.
+func (p *EntangledPair) Fidelity() float64 { return p.State.BellFidelity(p.HeraldedAs) }
+
+// Device models one NV node's quantum processing unit: a single
+// communication qubit plus a small number of carbon memory qubits, with the
+// noisy gate set and decoherence model of the paper's appendix.
+type Device struct {
+	Name     string
+	Gates    GateSet
+	Coupling CarbonCoupling
+
+	memorySlots int
+	// occupied maps qubit IDs to the pair stored there (nil when free).
+	occupied map[QubitID]*EntangledPair
+	// side maps qubit IDs to which side of the pair this device holds.
+	side map[QubitID]PairSide
+}
+
+// NewDevice creates a device with the given number of memory qubits.
+func NewDevice(name string, gates GateSet, coupling CarbonCoupling, memoryQubits int) *Device {
+	if memoryQubits < 0 {
+		panic("nv: negative memory qubit count")
+	}
+	return &Device{
+		Name:        name,
+		Gates:       gates,
+		Coupling:    coupling,
+		memorySlots: memoryQubits,
+		occupied:    make(map[QubitID]*EntangledPair),
+		side:        make(map[QubitID]PairSide),
+	}
+}
+
+// MemoryQubits returns the number of carbon memory qubits.
+func (d *Device) MemoryQubits() int { return d.memorySlots }
+
+// CommFree reports whether the communication qubit is available.
+func (d *Device) CommFree() bool { return d.occupied[CommQubitID] == nil }
+
+// FreeMemoryQubit returns a free memory qubit ID, or false when all are
+// occupied.
+func (d *Device) FreeMemoryQubit() (QubitID, bool) {
+	for i := 1; i <= d.memorySlots; i++ {
+		if d.occupied[QubitID(i)] == nil {
+			return QubitID(i), true
+		}
+	}
+	return 0, false
+}
+
+// FreeMemoryCount returns how many memory qubits are currently unoccupied.
+func (d *Device) FreeMemoryCount() int {
+	n := 0
+	for i := 1; i <= d.memorySlots; i++ {
+		if d.occupied[QubitID(i)] == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// PairAt returns the pair stored in the given qubit, or nil.
+func (d *Device) PairAt(q QubitID) *EntangledPair { return d.occupied[q] }
+
+// validQubit checks that q addresses an existing qubit.
+func (d *Device) validQubit(q QubitID) error {
+	if q == CommQubitID {
+		return nil
+	}
+	if q >= 1 && int(q) <= d.memorySlots {
+		return nil
+	}
+	return fmt.Errorf("%w: %d on %s", ErrNoSuchQubit, q, d.Name)
+}
+
+// StorePair records that this device holds the given side of a freshly
+// generated pair in its communication qubit.
+func (d *Device) StorePair(pair *EntangledPair, side PairSide) error {
+	if !d.CommFree() {
+		return ErrCommBusy
+	}
+	d.occupied[CommQubitID] = pair
+	d.side[CommQubitID] = side
+	pair.kind[side] = CommunicationQubit
+	pair.qubit[side] = CommQubitID
+	return nil
+}
+
+// Release frees the qubit holding the pair on this device (after the pair
+// was measured, expired or consumed by a higher layer).
+func (d *Device) Release(pair *EntangledPair) {
+	for q, p := range d.occupied {
+		if p == pair {
+			delete(d.occupied, q)
+			delete(d.side, q)
+			return
+		}
+	}
+}
+
+// ReleaseAll frees every qubit (used on expiry of whole requests).
+func (d *Device) ReleaseAll() {
+	d.occupied = make(map[QubitID]*EntangledPair)
+	d.side = make(map[QubitID]PairSide)
+}
+
+// OccupiedPairs returns every pair currently stored on this device.
+func (d *Device) OccupiedPairs() []*EntangledPair {
+	var out []*EntangledPair
+	for i := 0; i <= d.memorySlots; i++ {
+		if p := d.occupied[QubitID(i)]; p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// memoryParams returns the T1/T2 parameters of a qubit kind.
+func (d *Device) memoryParams(kind QubitKind) quantum.T1T2Params {
+	if kind == CommunicationQubit {
+		return d.Gates.ElectronT1T2()
+	}
+	return d.Gates.CarbonT1T2()
+}
+
+// ApplyDecoherence advances the decoherence clock of this device's side of
+// the pair to now, applying the appropriate T1/T2 noise for where the qubit
+// is stored.
+func (d *Device) ApplyDecoherence(pair *EntangledPair, side PairSide, now sim.Time) {
+	last := pair.lastUpdate[side]
+	if now <= last {
+		return
+	}
+	elapsed := now.Sub(last).Seconds()
+	quantum.ApplyMemoryNoise(pair.State, int(side), elapsed, d.memoryParams(pair.kind[side]))
+	pair.lastUpdate[side] = now
+}
+
+// ApplyAttemptDephasing applies the nuclear-spin dephasing caused by one
+// entanglement generation attempt with bright-state population alpha to
+// every pair stored in a carbon memory qubit of this device (Appendix
+// D.4.1).
+func (d *Device) ApplyAttemptDephasing(alpha float64) {
+	pd := d.Coupling.DephasingPerAttempt(alpha)
+	if pd <= 0 {
+		return
+	}
+	for q, pair := range d.occupied {
+		if pair == nil {
+			continue
+		}
+		side := d.side[q]
+		if pair.kind[side] != MemoryQubit {
+			continue
+		}
+		pair.State.ApplyKraus(quantum.DephasingKraus(pd), int(side))
+	}
+}
+
+// ApplyCorrection applies the local gate converting the heralded |Ψ−⟩ into
+// |Ψ+⟩ (a Z on this device's qubit, Eq. 13) with the single-qubit gate
+// noise, and updates the pair's heralded label.
+func (d *Device) ApplyCorrection(pair *EntangledPair, side PairSide) {
+	pair.State.ApplyUnitary(quantum.PauliZ(), int(side))
+	if f := d.Gates.ElectronSingleQubit.Fidelity; f < 1 {
+		pair.State.ApplyKraus(quantum.GateNoiseKraus(f), int(side))
+	}
+	pair.HeraldedAs = quantum.PsiPlus
+}
+
+// MoveToMemory transfers this device's side of the pair from the
+// communication qubit to the given memory qubit, applying the composite
+// gate noise and duration of the swap (Appendix D.3.3). The caller is
+// responsible for advancing simulated time by Gates.MoveToCarbon.Duration.
+func (d *Device) MoveToMemory(pair *EntangledPair, side PairSide, target QubitID, now sim.Time) error {
+	if err := d.validQubit(target); err != nil {
+		return err
+	}
+	if target == CommQubitID {
+		return fmt.Errorf("nv: move target must be a memory qubit")
+	}
+	if d.occupied[CommQubitID] != pair || pair.kind[side] != CommunicationQubit {
+		return ErrMoveNeedsComm
+	}
+	if d.occupied[target] != nil {
+		return ErrQubitBusy
+	}
+	// Decohere up to the start of the move. The move itself is performed
+	// under dynamical decoupling (Appendix D.2.2), so the electron is
+	// protected during the pulse sequence and the only cost is the composite
+	// gate fidelity of Table 6 — applying raw T2 decay on top would double
+	// count the noise already captured by that fidelity.
+	d.ApplyDecoherence(pair, side, now)
+	moveEnd := now.Add(d.Gates.MoveToCarbon.Duration)
+	if f := d.Gates.MoveToCarbon.Fidelity; f < 1 {
+		pair.State.ApplyKraus(quantum.GateNoiseKraus(f), int(side))
+	}
+	pair.lastUpdate[side] = moveEnd
+
+	delete(d.occupied, CommQubitID)
+	delete(d.side, CommQubitID)
+	d.occupied[target] = pair
+	d.side[target] = side
+	pair.kind[side] = MemoryQubit
+	pair.qubit[side] = target
+	return nil
+}
+
+// ReadoutResult is the outcome of measuring one side of a pair.
+type ReadoutResult struct {
+	Outcome int // 0 or 1
+	Basis   quantum.BasisLabel
+}
+
+// Measure performs a destructive measurement of this device's side of the
+// pair in the given basis, applying decoherence up to now, the basis
+// rotation (with single-qubit gate noise) and the asymmetric readout POVM of
+// Appendix D.3.4. The pair is released from the device afterwards.
+func (d *Device) Measure(pair *EntangledPair, side PairSide, basis quantum.BasisLabel, now sim.Time, rng interface{ Float64() float64 }) ReadoutResult {
+	d.ApplyDecoherence(pair, side, now)
+	if basis != quantum.BasisZ {
+		pair.State.ApplyUnitary(quantum.BasisRotation(basis), int(side))
+		if f := d.Gates.ElectronSingleQubit.Fidelity; f < 1 {
+			pair.State.ApplyKraus(quantum.GateNoiseKraus(f), int(side))
+		}
+	}
+	m0, m1 := readoutKraus(d.Gates.ElectronReadout)
+	p0 := pair.State.Probability(m0.Dagger().Mul(m0), int(side))
+	outcome := 0
+	if rng.Float64() >= p0 {
+		outcome = 1
+	}
+	if outcome == 0 {
+		pair.State.Collapse(m0, int(side))
+	} else {
+		pair.State.Collapse(m1, int(side))
+	}
+	d.Release(pair)
+	return ReadoutResult{Outcome: outcome, Basis: basis}
+}
+
+// readoutKraus builds the asymmetric readout Kraus operators of Eq. (23).
+func readoutKraus(spec ReadoutSpec) (m0, m1 quantum.Matrix) {
+	f0, f1 := spec.Fidelity0, spec.Fidelity1
+	m0 = quantum.NewMatrix(2)
+	m0.Set(0, 0, complex(sqrt(f0), 0))
+	m0.Set(1, 1, complex(sqrt(1-f1), 0))
+	m1 = quantum.NewMatrix(2)
+	m1.Set(0, 0, complex(sqrt(1-f0), 0))
+	m1.Set(1, 1, complex(sqrt(f1), 0))
+	return m0, m1
+}
+
+func sqrt(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

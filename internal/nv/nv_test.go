@@ -1,0 +1,443 @@
+package nv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/photonics"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+)
+
+func newTestPair(now sim.Time) *EntangledPair {
+	return NewEntangledPair(quantum.NewBellState(quantum.PsiPlus), quantum.PsiPlus, now)
+}
+
+func newTestDevice(memory int) *Device {
+	return NewDevice("A", DefaultGateSet(), DefaultCarbonCoupling(), memory)
+}
+
+func TestDefaultGateSetMatchesPaperTable(t *testing.T) {
+	g := DefaultGateSet()
+	if g.ElectronT1 != 2.86e-3 || g.ElectronT2 != 1.00e-3 {
+		t.Fatalf("electron coherence times wrong: %v %v", g.ElectronT1, g.ElectronT2)
+	}
+	if !math.IsInf(g.CarbonT1, 1) || g.CarbonT2 != 3.5e-3 {
+		t.Fatalf("carbon coherence times wrong: %v %v", g.CarbonT1, g.CarbonT2)
+	}
+	if g.ElectronInit.Duration != 2*sim.Microsecond || g.ElectronInit.Fidelity != 0.95 {
+		t.Fatal("electron init spec wrong")
+	}
+	if g.CarbonInit.Duration != 310*sim.Microsecond {
+		t.Fatal("carbon init duration wrong")
+	}
+	if g.ECControlledSqrtX.Duration != 500*sim.Microsecond || g.ECControlledSqrtX.Fidelity != 0.992 {
+		t.Fatal("E-C controlled-sqrt(X) spec wrong")
+	}
+	if g.MoveToCarbon.Duration != 1040*sim.Microsecond {
+		t.Fatal("move-to-carbon duration should be 1040 µs")
+	}
+	if g.ElectronReadout.Fidelity0 != 0.95 || g.ElectronReadout.Fidelity1 != 0.995 {
+		t.Fatal("readout fidelities wrong")
+	}
+	if g.ElectronReadout.Duration != sim.DurationMicroseconds(3.7) {
+		t.Fatal("readout duration wrong")
+	}
+}
+
+func TestPlatformTimingParameters(t *testing.T) {
+	lab := LabPlatform()
+	if lab.CycleTime[RequestMeasure] != sim.DurationMicroseconds(10.12) {
+		t.Fatalf("Lab M cycle = %v, want 10.12 µs", lab.CycleTime[RequestMeasure])
+	}
+	if lab.AttemptDuration[RequestKeep] != sim.DurationMicroseconds(1045) {
+		t.Fatalf("Lab K attempt duration = %v, want 1045 µs", lab.AttemptDuration[RequestKeep])
+	}
+	if lab.ExpectedCyclesPerAttempt[RequestKeep] != 1.1 {
+		t.Fatal("Lab K expected cycles should be 1.1")
+	}
+	ql := QL2020Platform()
+	if ql.CommDelayAH != sim.DurationMicroseconds(48.4) || ql.CommDelayBH != sim.DurationMicroseconds(72.6) {
+		t.Fatalf("QL2020 delays wrong: %v %v", ql.CommDelayAH, ql.CommDelayBH)
+	}
+	if ql.AttemptDuration[RequestMeasure] != sim.DurationMicroseconds(145) {
+		t.Fatal("QL2020 M attempt duration should be 145 µs")
+	}
+	if ql.ExpectedCyclesPerAttempt[RequestKeep] != 16.0 {
+		t.Fatal("QL2020 K expected cycles should be ≈16")
+	}
+	if ql.CycleTime[RequestKeep] != sim.DurationMicroseconds(165) {
+		t.Fatal("QL2020 K cycle time should be ≈165 µs")
+	}
+	// Round trips.
+	if ql.MidpointRoundTrip("A") != 2*sim.DurationMicroseconds(48.4) {
+		t.Fatal("round trip A wrong")
+	}
+	if ql.MidpointRoundTrip("B") != 2*sim.DurationMicroseconds(72.6) {
+		t.Fatal("round trip B wrong")
+	}
+}
+
+func TestNewPlatformSelection(t *testing.T) {
+	if NewPlatform(ScenarioLab).Scenario != ScenarioLab {
+		t.Fatal("wrong scenario")
+	}
+	if NewPlatform(ScenarioQL2020).Scenario != ScenarioQL2020 {
+		t.Fatal("wrong scenario")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown scenario should panic")
+		}
+	}()
+	NewPlatform("Mars")
+}
+
+func TestRequestTypeString(t *testing.T) {
+	if RequestKeep.String() != "K" || RequestMeasure.String() != "M" {
+		t.Fatal("request type strings wrong")
+	}
+}
+
+func TestCarbonCouplingDephasing(t *testing.T) {
+	c := DefaultCarbonCoupling()
+	pd := c.DephasingPerAttempt(0.1)
+	if pd <= 0 || pd > 0.05 {
+		t.Fatalf("per-attempt dephasing out of range: %v", pd)
+	}
+	if c.DephasingPerAttempt(0.3) <= pd {
+		t.Fatal("dephasing should increase with alpha")
+	}
+}
+
+func TestDeviceAllocation(t *testing.T) {
+	d := newTestDevice(2)
+	if !d.CommFree() {
+		t.Fatal("fresh device should have a free communication qubit")
+	}
+	if d.MemoryQubits() != 2 || d.FreeMemoryCount() != 2 {
+		t.Fatal("memory accounting wrong")
+	}
+	pair := newTestPair(0)
+	if err := d.StorePair(pair, SideA); err != nil {
+		t.Fatalf("StorePair: %v", err)
+	}
+	if d.CommFree() {
+		t.Fatal("communication qubit should be busy")
+	}
+	if err := d.StorePair(newTestPair(0), SideA); err != ErrCommBusy {
+		t.Fatalf("expected ErrCommBusy, got %v", err)
+	}
+	if got := d.PairAt(CommQubitID); got != pair {
+		t.Fatal("PairAt should return the stored pair")
+	}
+	d.Release(pair)
+	if !d.CommFree() {
+		t.Fatal("Release should free the qubit")
+	}
+}
+
+func TestMoveToMemory(t *testing.T) {
+	d := newTestDevice(1)
+	pair := newTestPair(0)
+	if err := d.StorePair(pair, SideA); err != nil {
+		t.Fatalf("StorePair: %v", err)
+	}
+	target, ok := d.FreeMemoryQubit()
+	if !ok || target != 1 {
+		t.Fatalf("expected memory qubit 1 free, got %v %v", target, ok)
+	}
+	fBefore := pair.Fidelity()
+	if err := d.MoveToMemory(pair, SideA, target, 0); err != nil {
+		t.Fatalf("MoveToMemory: %v", err)
+	}
+	if pair.Kind(SideA) != MemoryQubit || pair.Qubit(SideA) != target {
+		t.Fatal("pair bookkeeping not updated after move")
+	}
+	if !d.CommFree() {
+		t.Fatal("communication qubit should be free after the move")
+	}
+	if d.FreeMemoryCount() != 0 {
+		t.Fatal("memory qubit should now be occupied")
+	}
+	fAfter := pair.Fidelity()
+	if fAfter >= fBefore {
+		t.Fatalf("move should cost fidelity: %v → %v", fBefore, fAfter)
+	}
+	if fAfter < 0.5 {
+		t.Fatalf("move noise too strong: %v", fAfter)
+	}
+	// Second move must fail: nothing on the communication qubit.
+	if err := d.MoveToMemory(pair, SideA, target, 0); err == nil {
+		t.Fatal("moving again should fail")
+	}
+}
+
+func TestMoveToMemoryErrors(t *testing.T) {
+	d := newTestDevice(1)
+	pair := newTestPair(0)
+	_ = d.StorePair(pair, SideA)
+	if err := d.MoveToMemory(pair, SideA, 5, 0); err == nil {
+		t.Fatal("move to nonexistent qubit should fail")
+	}
+	if err := d.MoveToMemory(pair, SideA, CommQubitID, 0); err == nil {
+		t.Fatal("move to communication qubit should fail")
+	}
+	// Occupy the memory qubit with another pair, then try to move.
+	other := newTestPair(0)
+	d2 := newTestDevice(1)
+	_ = d2.StorePair(other, SideA)
+	_ = d2.MoveToMemory(other, SideA, 1, 0)
+	second := newTestPair(0)
+	_ = d2.StorePair(second, SideA)
+	if err := d2.MoveToMemory(second, SideA, 1, 0); err != ErrQubitBusy {
+		t.Fatalf("expected ErrQubitBusy, got %v", err)
+	}
+}
+
+func TestDecoherenceOverTime(t *testing.T) {
+	d := newTestDevice(1)
+	pair := newTestPair(0)
+	_ = d.StorePair(pair, SideA)
+	fStart := pair.Fidelity()
+	// One millisecond on the electron (T2 = 1 ms) costs real fidelity.
+	d.ApplyDecoherence(pair, SideA, sim.Time(1*sim.Millisecond))
+	fAfter := pair.Fidelity()
+	if fAfter >= fStart {
+		t.Fatalf("decoherence should reduce fidelity: %v → %v", fStart, fAfter)
+	}
+	// Applying again with the same timestamp must be a no-op.
+	d.ApplyDecoherence(pair, SideA, sim.Time(1*sim.Millisecond))
+	if pair.Fidelity() != fAfter {
+		t.Fatal("repeated decoherence at same time should be a no-op")
+	}
+}
+
+func TestMemoryQubitOutlivesElectron(t *testing.T) {
+	// Figure 9: the carbon memory (T2=3.5 ms) holds fidelity longer than the
+	// electron (T2=1 ms) for the same storage time.
+	storage := sim.Time(2 * sim.Millisecond)
+
+	dElec := newTestDevice(1)
+	pElec := newTestPair(0)
+	_ = dElec.StorePair(pElec, SideA)
+	dElec.ApplyDecoherence(pElec, SideA, storage)
+
+	dMem := newTestDevice(1)
+	pMem := newTestPair(0)
+	_ = dMem.StorePair(pMem, SideA)
+	// Put it on the carbon immediately with a noiseless move so only the
+	// storage comparison matters.
+	g := dMem.Gates
+	g.MoveToCarbon.Fidelity = 1
+	g.CarbonInit.Fidelity = 1
+	g.MoveToCarbon.Duration = 0
+	dMem.Gates = g
+	if err := dMem.MoveToMemory(pMem, SideA, 1, 0); err != nil {
+		t.Fatalf("MoveToMemory: %v", err)
+	}
+	dMem.ApplyDecoherence(pMem, SideA, storage)
+
+	if pMem.Fidelity() <= pElec.Fidelity() {
+		t.Fatalf("carbon storage should beat electron storage: %v vs %v", pMem.Fidelity(), pElec.Fidelity())
+	}
+}
+
+func TestAttemptDephasingOnlyAffectsMemory(t *testing.T) {
+	d := newTestDevice(1)
+	// A pair stored in the communication qubit is not affected by attempt
+	// dephasing (the mechanism acts on nuclear spins).
+	commPair := newTestPair(0)
+	_ = d.StorePair(commPair, SideA)
+	before := commPair.Fidelity()
+	d.ApplyAttemptDephasing(0.3)
+	if commPair.Fidelity() != before {
+		t.Fatal("attempt dephasing should not affect the communication qubit")
+	}
+	// After moving to memory, attempts do degrade it.
+	g := d.Gates
+	g.MoveToCarbon.Fidelity = 1
+	g.CarbonInit.Fidelity = 1
+	g.MoveToCarbon.Duration = 0
+	d.Gates = g
+	_ = d.MoveToMemory(commPair, SideA, 1, 0)
+	before = commPair.Fidelity()
+	for i := 0; i < 200; i++ {
+		d.ApplyAttemptDephasing(0.3)
+	}
+	if commPair.Fidelity() >= before {
+		t.Fatal("attempt dephasing should degrade memory-stored pairs")
+	}
+}
+
+func TestApplyCorrectionConvertsPsiMinus(t *testing.T) {
+	d := newTestDevice(1)
+	pair := NewEntangledPair(quantum.NewBellState(quantum.PsiMinus), quantum.PsiMinus, 0)
+	_ = d.StorePair(pair, SideA)
+	d.ApplyCorrection(pair, SideA)
+	if pair.HeraldedAs != quantum.PsiPlus {
+		t.Fatal("correction should relabel the pair as Ψ+")
+	}
+	if f := pair.State.BellFidelity(quantum.PsiPlus); f < 0.99 {
+		t.Fatalf("corrected state fidelity with Ψ+ = %v", f)
+	}
+}
+
+func TestMeasurePerfectCorrelations(t *testing.T) {
+	// Two devices sharing a perfect Ψ+ measured in Z must give
+	// anti-correlated outcomes (up to readout noise, which we disable).
+	gates := DefaultGateSet()
+	gates.ElectronReadout.Fidelity0 = 1
+	gates.ElectronReadout.Fidelity1 = 1
+	dA := NewDevice("A", gates, DefaultCarbonCoupling(), 1)
+	dB := NewDevice("B", gates, DefaultCarbonCoupling(), 1)
+	rng := sim.NewRNG(5)
+	for i := 0; i < 50; i++ {
+		pair := newTestPair(0)
+		_ = dA.StorePair(pair, SideA)
+		_ = dB.StorePair(pair, SideB)
+		ra := dA.Measure(pair, SideA, quantum.BasisZ, 0, rng)
+		rb := dB.Measure(pair, SideB, quantum.BasisZ, 0, rng)
+		if ra.Outcome == rb.Outcome {
+			t.Fatalf("Ψ+ Z outcomes should differ, got %d %d", ra.Outcome, rb.Outcome)
+		}
+		if !dA.CommFree() || !dB.CommFree() {
+			t.Fatal("measurement should release the qubits")
+		}
+	}
+}
+
+func TestMeasureXBasisCorrelations(t *testing.T) {
+	gates := DefaultGateSet()
+	gates.ElectronReadout.Fidelity0 = 1
+	gates.ElectronReadout.Fidelity1 = 1
+	gates.ElectronSingleQubit.Fidelity = 1
+	dA := NewDevice("A", gates, DefaultCarbonCoupling(), 1)
+	dB := NewDevice("B", gates, DefaultCarbonCoupling(), 1)
+	rng := sim.NewRNG(6)
+	// Ψ+ is correlated in X.
+	for i := 0; i < 50; i++ {
+		pair := newTestPair(0)
+		_ = dA.StorePair(pair, SideA)
+		_ = dB.StorePair(pair, SideB)
+		ra := dA.Measure(pair, SideA, quantum.BasisX, 0, rng)
+		rb := dB.Measure(pair, SideB, quantum.BasisX, 0, rng)
+		if ra.Outcome != rb.Outcome {
+			t.Fatalf("Ψ+ X outcomes should agree, got %d %d", ra.Outcome, rb.Outcome)
+		}
+	}
+}
+
+func TestReadoutNoiseAsymmetry(t *testing.T) {
+	// With the default asymmetric readout (f0=0.95, f1=0.995), measuring a
+	// qubit prepared in |0⟩ misreports "1" about 5% of the time while |1⟩ is
+	// misreported only ~0.5% of the time.
+	d := newTestDevice(1)
+	rng := sim.NewRNG(11)
+	const n = 20000
+	miss0, miss1 := 0, 0
+	for i := 0; i < n; i++ {
+		// Build a product state where side A is |0⟩ (or |1⟩) exactly.
+		zero := quantum.NewState(2)
+		pair0 := NewEntangledPair(zero, quantum.PhiPlus, 0)
+		_ = d.StorePair(pair0, SideA)
+		if r := d.Measure(pair0, SideA, quantum.BasisZ, 0, rng); r.Outcome == 1 {
+			miss0++
+		}
+		one := quantum.NewState(2)
+		one.ApplyUnitary(quantum.PauliX(), 0)
+		pair1 := NewEntangledPair(one, quantum.PhiPlus, 0)
+		_ = d.StorePair(pair1, SideA)
+		if r := d.Measure(pair1, SideA, quantum.BasisZ, 0, rng); r.Outcome == 0 {
+			miss1++
+		}
+	}
+	rate0 := float64(miss0) / n
+	rate1 := float64(miss1) / n
+	if math.Abs(rate0-0.05) > 0.01 {
+		t.Fatalf("|0⟩ misread rate = %v, want ≈0.05", rate0)
+	}
+	if math.Abs(rate1-0.005) > 0.004 {
+		t.Fatalf("|1⟩ misread rate = %v, want ≈0.005", rate1)
+	}
+	if rate0 <= rate1 {
+		t.Fatal("readout noise should be asymmetric with |0⟩ worse")
+	}
+}
+
+func TestOccupiedPairsAndReleaseAll(t *testing.T) {
+	d := newTestDevice(2)
+	p1 := newTestPair(0)
+	_ = d.StorePair(p1, SideA)
+	_ = d.MoveToMemory(p1, SideA, 1, 0)
+	p2 := newTestPair(0)
+	_ = d.StorePair(p2, SideA)
+	if got := len(d.OccupiedPairs()); got != 2 {
+		t.Fatalf("expected 2 occupied pairs, got %d", got)
+	}
+	d.ReleaseAll()
+	if len(d.OccupiedPairs()) != 0 || !d.CommFree() || d.FreeMemoryCount() != 2 {
+		t.Fatal("ReleaseAll should free everything")
+	}
+}
+
+func TestSuccessProbabilityCalibration(t *testing.T) {
+	// Both platforms should have psucc/α of order 10⁻³ as quoted in
+	// Section 4.4.
+	for _, p := range []*Platform{LabPlatform(), QL2020Platform()} {
+		sampler := photonics.NewLinkSampler(p.Optics)
+		ratio := p.SuccessProbability(sampler, 0.1) / 0.1
+		if ratio < 5e-5 || ratio > 1e-2 {
+			t.Errorf("%s: psucc/α = %v, want order 10⁻³", p.Scenario, ratio)
+		}
+	}
+}
+
+func TestEntangledPairValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("one-qubit state should panic")
+		}
+	}()
+	NewEntangledPair(quantum.NewState(1), quantum.PsiPlus, 0)
+}
+
+// Property: decoherence never increases fidelity and never produces an
+// invalid state, for any storage duration.
+func TestPropertyDecoherenceMonotone(t *testing.T) {
+	d := newTestDevice(1)
+	f := func(ms uint16) bool {
+		pair := newTestPair(0)
+		if err := d.StorePair(pair, SideA); err != nil {
+			return false
+		}
+		defer d.Release(pair)
+		before := pair.Fidelity()
+		d.ApplyDecoherence(pair, SideA, sim.Time(sim.Duration(ms)*sim.Millisecond))
+		after := pair.Fidelity()
+		trace := pair.State.TraceReal()
+		return after <= before+1e-9 && after >= 0 && math.Abs(trace-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: measurement outcomes are always 0 or 1 and release the qubit.
+func TestPropertyMeasurementAlwaysBinary(t *testing.T) {
+	d := newTestDevice(1)
+	rng := sim.NewRNG(3)
+	f := func(basisPick uint8) bool {
+		basis := quantum.BasisLabel(int(basisPick) % 3)
+		pair := newTestPair(0)
+		if err := d.StorePair(pair, SideA); err != nil {
+			return false
+		}
+		r := d.Measure(pair, SideA, basis, 0, rng)
+		return (r.Outcome == 0 || r.Outcome == 1) && d.CommFree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

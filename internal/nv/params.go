@@ -1,0 +1,299 @@
+// Package nv models the Nitrogen-Vacancy centre platform used by the paper:
+// a communication qubit (electron spin) with an optical interface plus a
+// memory qubit (carbon-13 nuclear spin), the noisy gate set of Appendix
+// Table 6, the decoherence and dephasing mechanisms of Appendix D, and the
+// timing parameters of the Lab and QL2020 scenarios of Section 4.4.
+package nv
+
+import (
+	"math"
+
+	"repro/internal/photonics"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+)
+
+// GateSpec describes one native operation: its duration and fidelity (the
+// dephasing/depolarising strength applied after the perfect gate, Appendix
+// D.3.1).
+type GateSpec struct {
+	Duration sim.Duration
+	Fidelity float64
+}
+
+// GateSet is the NV gate/coherence parameter table (Appendix Table 6),
+// expressed in simulation units.
+type GateSet struct {
+	// Coherence times (seconds).
+	ElectronT1 float64
+	ElectronT2 float64
+	CarbonT1   float64
+	CarbonT2   float64
+
+	// Native operations.
+	ElectronSingleQubit GateSpec // 5 ns, F=1.0
+	ECControlledSqrtX   GateSpec // 500 µs, F=0.992
+	CarbonRotZ          GateSpec // 20 µs, F=0.999
+	ElectronInit        GateSpec // 2 µs, F=0.95
+	CarbonInit          GateSpec // 310 µs, F=0.95
+	ElectronReadout     ReadoutSpec
+	// MoveToCarbon is the composite swap of the electron state onto the
+	// carbon: two E-C controlled-√X gates plus single-qubit gates
+	// (1040 µs total, Appendix D.3.3).
+	MoveToCarbon GateSpec
+}
+
+// ReadoutSpec captures the asymmetric electron readout noise: the fidelity
+// of declaring |0⟩ and |1⟩ correctly, plus the readout duration.
+type ReadoutSpec struct {
+	Duration  sim.Duration
+	Fidelity0 float64 // 0.95
+	Fidelity1 float64 // 0.995
+}
+
+// DefaultGateSet returns the values used in the paper's simulation
+// (Appendix Table 6, "Duration/time" and "(Unsquared) fidelity" columns).
+func DefaultGateSet() GateSet {
+	return GateSet{
+		ElectronT1: 2.86e-3,
+		ElectronT2: 1.00e-3,
+		CarbonT1:   math.Inf(1),
+		CarbonT2:   3.5e-3,
+
+		ElectronSingleQubit: GateSpec{Duration: 5 * sim.Nanosecond, Fidelity: 1.0},
+		ECControlledSqrtX:   GateSpec{Duration: 500 * sim.Microsecond, Fidelity: 0.992},
+		CarbonRotZ:          GateSpec{Duration: 20 * sim.Microsecond, Fidelity: 0.999},
+		ElectronInit:        GateSpec{Duration: 2 * sim.Microsecond, Fidelity: 0.95},
+		CarbonInit:          GateSpec{Duration: 310 * sim.Microsecond, Fidelity: 0.95},
+		ElectronReadout: ReadoutSpec{
+			Duration:  sim.DurationMicroseconds(3.7),
+			Fidelity0: 0.95,
+			Fidelity1: 0.995,
+		},
+		MoveToCarbon: GateSpec{Duration: 1040 * sim.Microsecond, Fidelity: 0.992 * 0.992},
+	}
+}
+
+// ElectronT1T2 returns the electron coherence parameters in the form used by
+// the quantum package.
+func (g GateSet) ElectronT1T2() quantum.T1T2Params {
+	return quantum.T1T2Params{T1: g.ElectronT1, T2: g.ElectronT2}
+}
+
+// CarbonT1T2 returns the carbon coherence parameters.
+func (g GateSet) CarbonT1T2() quantum.T1T2Params {
+	return quantum.T1T2Params{T1: g.CarbonT1, T2: g.CarbonT2}
+}
+
+// CarbonCoupling captures the parameters of the nuclear-spin dephasing
+// mechanism during entanglement attempts (Appendix D.4.1, values for spin C1).
+type CarbonCoupling struct {
+	DeltaOmega float64 // coupling strength, rad/s (2π·377 kHz)
+	TauD       float64 // decay constant, s (82 ns)
+}
+
+// DefaultCarbonCoupling returns the paper's C1 values.
+func DefaultCarbonCoupling() CarbonCoupling {
+	return CarbonCoupling{DeltaOmega: 2 * math.Pi * 377e3, TauD: 82e-9}
+}
+
+// DephasingPerAttempt returns Eq. (25) for a given bright-state population.
+func (c CarbonCoupling) DephasingPerAttempt(alpha float64) float64 {
+	return quantum.NuclearDephasingPerAttempt(alpha, c.DeltaOmega, c.TauD)
+}
+
+// RequestType distinguishes create-and-keep (K) from create-and-measure (M)
+// requests; the platform timing differs between the two (Section 4.4).
+type RequestType int
+
+// The two request types of the CREATE interface.
+const (
+	RequestKeep    RequestType = iota // K: store the entangled qubit
+	RequestMeasure                    // M: measure the communication qubit immediately
+)
+
+// String renders the request type as in the paper.
+func (r RequestType) String() string {
+	if r == RequestKeep {
+		return "K"
+	}
+	return "M"
+}
+
+// ScenarioID names the two physical setups evaluated in the paper.
+type ScenarioID string
+
+// The two evaluated scenarios.
+const (
+	ScenarioLab    ScenarioID = "Lab"    // 2 m apart, already realised
+	ScenarioQL2020 ScenarioID = "QL2020" // ≈25 km between two European cities
+)
+
+// Platform bundles everything the protocol stack needs to know about the
+// hardware of one scenario: per-request-type attempt timing, the optical
+// link model, classical communication delays, and the NV gate set.
+type Platform struct {
+	Scenario ScenarioID
+
+	Gates          GateSet
+	CarbonCoupling CarbonCoupling
+
+	// Number of memory (carbon) qubits per node; the paper's evaluation uses
+	// a single memory qubit.
+	MemoryQubits int
+
+	// CycleTime is the MHP cycle duration (the minimum spacing between
+	// triggers), per request type: 1/r_attempt of Section 4.4.
+	CycleTime map[RequestType]sim.Duration
+	// AttemptDuration is t_attempt: trigger until the reply from H has been
+	// processed (including any post-processing such as the move to carbon).
+	AttemptDuration map[RequestType]sim.Duration
+	// ExpectedCyclesPerAttempt is E of Section 6: the expected number of MHP
+	// cycles consumed per attempt (≥1 because of memory re-initialisation
+	// and post-processing).
+	ExpectedCyclesPerAttempt map[RequestType]float64
+
+	// CommDelayAH / CommDelayBH are the one-way classical+optical signal
+	// propagation delays between each node and the heralding station.
+	CommDelayAH sim.Duration
+	CommDelayBH sim.Duration
+
+	// CarbonReinitPeriod and CarbonReinitDuration model the periodic carbon
+	// re-initialisation (330 µs every 3500 µs in the Lab, Appendix D.3.3).
+	CarbonReinitPeriod   sim.Duration
+	CarbonReinitDuration sim.Duration
+
+	// Optics describes the photonic link (emission, fibres, detectors,
+	// visibility).
+	Optics *photonics.HeraldedLink
+	// SuccessScale rescales the herald success probability so the platform
+	// matches the paper's calibrated psucc ≈ α·10⁻³ (Section 4.4) without
+	// re-fitting every microscopic parameter. 1.0 means "use the optical
+	// model as-is".
+	SuccessScale float64
+}
+
+// LabPlatform returns the parameters of the Lab scenario (Section 4.4): both
+// nodes 1 m from the station, no frequency conversion, no cavity.
+func LabPlatform() *Platform {
+	em := photonics.EmissionParams{
+		DetectionWindow:  25e-9,
+		EmissionCharTime: 12e-9,
+		ZeroPhononProb:   0.03,
+		CollectionProb:   0.014,
+		ConversionProb:   1.0,
+		TwoPhotonProb:    0.04,
+		PhaseStdDegrees:  14.3 / math.Sqrt2,
+	}
+	fiber := photonics.Fiber{LengthKM: 0.001, AttenuationDB: 5}
+	det := photonics.DetectorParams{Efficiency: 0.8, DarkCountRate: 20, Window: 25e-9}
+	link := photonics.NewHeraldedLink(em, em, fiber, fiber, det, 0.9)
+	return &Platform{
+		Scenario:       ScenarioLab,
+		Gates:          DefaultGateSet(),
+		CarbonCoupling: DefaultCarbonCoupling(),
+		MemoryQubits:   1,
+		CycleTime: map[RequestType]sim.Duration{
+			RequestMeasure: sim.DurationMicroseconds(10.12),
+			RequestKeep:    sim.DurationMicroseconds(11),
+		},
+		AttemptDuration: map[RequestType]sim.Duration{
+			RequestMeasure: sim.DurationMicroseconds(10.12),
+			RequestKeep:    sim.DurationMicroseconds(1045),
+		},
+		ExpectedCyclesPerAttempt: map[RequestType]float64{
+			RequestMeasure: 1.0,
+			RequestKeep:    1.1,
+		},
+		CommDelayAH:          10 * sim.Nanosecond, // 9.7 ns, negligible
+		CommDelayBH:          10 * sim.Nanosecond,
+		CarbonReinitPeriod:   3500 * sim.Microsecond,
+		CarbonReinitDuration: 330 * sim.Microsecond,
+		Optics:               link,
+		SuccessScale:         1.0,
+	}
+}
+
+// QL2020Platform returns the parameters of the planned QL2020 scenario
+// (Section 4.4): A is ≈10 km from H (48.4 µs), B ≈15 km (72.6 µs), photons
+// are frequency-converted to 1588 nm with 0.5 dB/km fibre loss, and optical
+// cavities enhance emission.
+func QL2020Platform() *Platform {
+	em := photonics.EmissionParams{
+		DetectionWindow:  25e-9,
+		EmissionCharTime: 6.48e-9, // with cavity
+		ZeroPhononProb:   0.46,    // with cavity
+		CollectionProb:   0.014,
+		ConversionProb:   0.30, // frequency conversion success
+		TwoPhotonProb:    0.04,
+		PhaseStdDegrees:  14.3 / math.Sqrt2,
+	}
+	fibA := photonics.Fiber{LengthKM: 10, AttenuationDB: 0.5}
+	fibB := photonics.Fiber{LengthKM: 15, AttenuationDB: 0.5}
+	det := photonics.DetectorParams{Efficiency: 0.8, DarkCountRate: 20, Window: 25e-9}
+	link := photonics.NewHeraldedLink(em, em, fibA, fibB, det, 0.9)
+	return &Platform{
+		Scenario:       ScenarioQL2020,
+		Gates:          DefaultGateSet(),
+		CarbonCoupling: DefaultCarbonCoupling(),
+		MemoryQubits:   1,
+		CycleTime: map[RequestType]sim.Duration{
+			RequestMeasure: sim.DurationMicroseconds(10.12),
+			RequestKeep:    sim.DurationMicroseconds(165),
+		},
+		AttemptDuration: map[RequestType]sim.Duration{
+			RequestMeasure: sim.DurationMicroseconds(145),
+			RequestKeep:    sim.DurationMicroseconds(1185),
+		},
+		ExpectedCyclesPerAttempt: map[RequestType]float64{
+			RequestMeasure: 1.0,
+			RequestKeep:    16.0,
+		},
+		CommDelayAH:          sim.DurationMicroseconds(48.4),
+		CommDelayBH:          sim.DurationMicroseconds(72.6),
+		CarbonReinitPeriod:   3500 * sim.Microsecond,
+		CarbonReinitDuration: 330 * sim.Microsecond,
+		Optics:               link,
+		SuccessScale:         1.0,
+	}
+}
+
+// NewPlatform returns the platform for the given scenario identifier.
+func NewPlatform(id ScenarioID) *Platform {
+	switch id {
+	case ScenarioLab:
+		return LabPlatform()
+	case ScenarioQL2020:
+		return QL2020Platform()
+	default:
+		panic("nv: unknown scenario " + string(id))
+	}
+}
+
+// MidpointRoundTrip returns the round-trip classical communication delay
+// between the given node ("A" or "B") and the heralding station.
+func (p *Platform) MidpointRoundTrip(node string) sim.Duration {
+	if node == "A" {
+		return 2 * p.CommDelayAH
+	}
+	return 2 * p.CommDelayBH
+}
+
+// SuccessProbability returns the calibrated herald success probability for a
+// given bright-state population. The paper quotes psucc ≈ α·10⁻³ for both
+// Lab (no cavity, no conversion, short fibre) and QL2020 (cavity +
+// conversion + long fibre); the SuccessScale factor absorbs residual
+// calibration differences of the microscopic model.
+func (p *Platform) SuccessProbability(sampler *photonics.LinkSampler, alpha float64) float64 {
+	return clampProb(p.SuccessScale * sampler.HeraldSuccessProbability(alpha, alpha))
+}
+
+func clampProb(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

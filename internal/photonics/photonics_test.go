@@ -1,0 +1,424 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quantum"
+	"repro/internal/sim"
+)
+
+const tol = 1e-9
+
+// labEmission returns emission parameters close to the paper's Lab scenario
+// (no cavity, no frequency conversion), with a configurable collection
+// probability so tests can raise the detection efficiency when they need
+// frequent successes.
+func labEmission(collection float64) EmissionParams {
+	return EmissionParams{
+		DetectionWindow:  25e-9,
+		EmissionCharTime: 12e-9,
+		ZeroPhononProb:   0.03,
+		CollectionProb:   collection,
+		ConversionProb:   1.0,
+		TwoPhotonProb:    0.04,
+		PhaseStdDegrees:  14.3 / math.Sqrt2,
+	}
+}
+
+func idealEmission() EmissionParams {
+	return EmissionParams{
+		DetectionWindow:  1, // tw >> τe so no window damping... see test
+		EmissionCharTime: 0, // disables window damping entirely
+		ZeroPhononProb:   1.0,
+		CollectionProb:   1.0,
+		ConversionProb:   1.0,
+		TwoPhotonProb:    0,
+		PhaseStdDegrees:  0,
+	}
+}
+
+func idealDetectors() DetectorParams {
+	return DetectorParams{Efficiency: 1.0, DarkCountRate: 0, Window: 25e-9}
+}
+
+func TestFiberTransmissionLoss(t *testing.T) {
+	f := Fiber{LengthKM: 10, AttenuationDB: 0.5}
+	// 5 dB total loss → survival 10^-0.5 ≈ 0.3162.
+	want := 1 - math.Pow(10, -0.5)
+	if got := f.TransmissionLossProb(); math.Abs(got-want) > tol {
+		t.Fatalf("loss = %v, want %v", got, want)
+	}
+	zero := Fiber{LengthKM: 0, AttenuationDB: 0.5}
+	if zero.TransmissionLossProb() != 0 {
+		t.Fatal("zero-length fibre should have no loss")
+	}
+}
+
+func TestFiberPropagationDelay(t *testing.T) {
+	// The paper quotes 48.4 µs for ~10 km and 72.6 µs for ~15 km.
+	fA := Fiber{LengthKM: 10}
+	fB := Fiber{LengthKM: 15}
+	if d := fA.PropagationDelaySeconds() * 1e6; math.Abs(d-48.4) > 0.5 {
+		t.Fatalf("10 km delay = %v µs, want ≈48.4", d)
+	}
+	if d := fB.PropagationDelaySeconds() * 1e6; math.Abs(d-72.6) > 0.7 {
+		t.Fatalf("15 km delay = %v µs, want ≈72.6", d)
+	}
+}
+
+func TestCoherentEmissionDamping(t *testing.T) {
+	e := EmissionParams{DetectionWindow: 25e-9, EmissionCharTime: 12e-9}
+	want := math.Exp(-25.0 / 12.0)
+	if got := e.CoherentEmissionDamping(); math.Abs(got-want) > tol {
+		t.Fatalf("window damping = %v, want %v", got, want)
+	}
+	if (EmissionParams{EmissionCharTime: 0}).CoherentEmissionDamping() != 0 {
+		t.Fatal("zero characteristic time should disable window damping")
+	}
+}
+
+func TestCollectionDamping(t *testing.T) {
+	e := EmissionParams{ZeroPhononProb: 0.03, CollectionProb: 0.014, ConversionProb: 1}
+	want := 1 - 0.03*0.014
+	if got := e.CollectionDamping(); math.Abs(got-want) > tol {
+		t.Fatalf("collection damping = %v, want %v", got, want)
+	}
+	withConv := EmissionParams{ZeroPhononProb: 0.46, CollectionProb: 0.014, ConversionProb: 0.3}
+	want = 1 - 0.46*0.014*0.3
+	if got := withConv.CollectionDamping(); math.Abs(got-want) > tol {
+		t.Fatalf("collection damping with conversion = %v, want %v", got, want)
+	}
+}
+
+func TestDarkCountProbability(t *testing.T) {
+	d := DetectorParams{DarkCountRate: 20, Window: 25e-9}
+	want := 1 - math.Exp(-20*25e-9)
+	if got := d.DarkCountProb(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("dark count prob = %v, want %v", got, want)
+	}
+}
+
+func TestPhaseDephasingProb(t *testing.T) {
+	// The paper's value: σ = 14.3°/√2 per arm; the dephasing probability must
+	// be small but positive.
+	e := EmissionParams{PhaseStdDegrees: 14.3 / math.Sqrt2}
+	p := e.PhaseDephasingProb()
+	if p <= 0 || p > 0.05 {
+		t.Fatalf("phase dephasing prob out of range: %v", p)
+	}
+	// Larger phase noise gives more dephasing.
+	e2 := EmissionParams{PhaseStdDegrees: 30}
+	if e2.PhaseDephasingProb() <= p {
+		t.Fatal("dephasing should grow with phase noise")
+	}
+	if (EmissionParams{PhaseStdDegrees: 0}).PhaseDephasingProb() != 0 {
+		t.Fatal("zero phase noise should give zero dephasing")
+	}
+}
+
+func TestBesselRatio(t *testing.T) {
+	// Known values: I1(1)/I0(1) ≈ 0.44639, I1(5)/I0(5) ≈ 0.89378,
+	// large-x asymptotics ≈ 1 − 1/(2x).
+	cases := []struct{ x, want, tolerance float64 }{
+		{1, 0.4463900, 1e-5},
+		{5, 0.8933831, 1e-5},
+		{30, 1 - 1.0/60 - 1/(8.0*900), 1e-4},
+		{200, 1 - 1.0/400, 1e-5},
+	}
+	for _, c := range cases {
+		if got := besselRatioI1I0(c.x); math.Abs(got-c.want) > c.tolerance {
+			t.Errorf("I1/I0(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if besselRatioI1I0(0) != 0 {
+		t.Fatal("ratio at 0 should be 0")
+	}
+}
+
+func TestBeamSplitterPOVMCompleteness(t *testing.T) {
+	for _, vis := range []float64{0, 0.5, 0.9, 1.0} {
+		b := NewBeamSplitterPOVM(vis)
+		sum := b.M00.Add(b.M10).Add(b.M01).Add(b.M11)
+		if !sum.Equalish(quantum.Identity(4), 1e-9) {
+			t.Errorf("visibility %v: POVM elements do not sum to identity", vis)
+		}
+		// Kraus operators must reproduce the POVM elements: K†K = M.
+		pairs := []struct {
+			k, m quantum.Matrix
+		}{{b.K00, b.M00}, {b.K10, b.M10}, {b.K01, b.M01}, {b.K11, b.M11}}
+		for i, p := range pairs {
+			if !p.k.Dagger().Mul(p.k).Equalish(p.m, 1e-9) {
+				t.Errorf("visibility %v: Kraus %d does not match POVM element", vis, i)
+			}
+		}
+	}
+}
+
+func TestBeamSplitterHOMInterference(t *testing.T) {
+	// With perfectly indistinguishable photons (visibility 1), two incident
+	// photons always bunch: the probability of a coincidence (both
+	// detectors) must vanish — the Hong-Ou-Mandel effect.
+	b := NewBeamSplitterPOVM(1.0)
+	twoPhotons := quantum.NewStateFromKet(quantum.Ket{0, 0, 0, 1}) // |11⟩
+	if p := twoPhotons.Probability(b.M11, 0, 1); p > tol {
+		t.Fatalf("HOM violated: coincidence probability %v", p)
+	}
+	// With fully distinguishable photons the coincidence probability is 1/2.
+	b0 := NewBeamSplitterPOVM(0.0)
+	if p := twoPhotons.Probability(b0.M11, 0, 1); math.Abs(p-0.5) > tol {
+		t.Fatalf("distinguishable coincidence = %v, want 0.5", p)
+	}
+}
+
+func TestBeamSplitterProjectsOntoBellStates(t *testing.T) {
+	// A symmetric single-photon state (|10⟩+|01⟩)/√2 must always herald the
+	// "left" detector at perfect visibility, and the antisymmetric state the
+	// "right" detector.
+	b := NewBeamSplitterPOVM(1.0)
+	inv := complex(1/math.Sqrt2, 0)
+	sym := quantum.NewStateFromKet(quantum.Ket{0, inv, inv, 0})
+	anti := quantum.NewStateFromKet(quantum.Ket{0, inv, -inv, 0})
+	if p := sym.Probability(b.M10, 0, 1); math.Abs(p-1) > tol {
+		t.Fatalf("symmetric state left-click probability = %v, want 1", p)
+	}
+	if p := sym.Probability(b.M01, 0, 1); p > tol {
+		t.Fatalf("symmetric state right-click probability = %v, want 0", p)
+	}
+	if p := anti.Probability(b.M01, 0, 1); math.Abs(p-1) > tol {
+		t.Fatalf("antisymmetric state right-click probability = %v, want 1", p)
+	}
+}
+
+func TestApplyDetectorNoise(t *testing.T) {
+	det := DetectorParams{Efficiency: 0.8, DarkCountRate: 20, Window: 25e-9}
+	// Perfect efficiency sample (u < 0.8) keeps the click; no dark counts.
+	if got := ApplyDetectorNoise(ClickLeft, det, 0.5, 0.5, 0.99, 0.99); got != ClickLeft {
+		t.Fatalf("expected ClickLeft, got %v", got)
+	}
+	// Inefficient detection loses the click.
+	if got := ApplyDetectorNoise(ClickLeft, det, 0.9, 0.5, 0.99, 0.99); got != ClickNone {
+		t.Fatalf("expected ClickNone after loss, got %v", got)
+	}
+	// Dark count adds a click on the empty detector.
+	if got := ApplyDetectorNoise(ClickNone, det, 0.5, 0.5, 0.0, 0.99); got != ClickLeft {
+		t.Fatalf("expected dark-count ClickLeft, got %v", got)
+	}
+	// Both real clicks survive.
+	if got := ApplyDetectorNoise(ClickBoth, det, 0.1, 0.1, 0.99, 0.99); got != ClickBoth {
+		t.Fatalf("expected ClickBoth, got %v", got)
+	}
+}
+
+func TestOutcomeFromClicks(t *testing.T) {
+	cases := map[ClickPattern]MidpointOutcome{
+		ClickNone:  OutcomeFail,
+		ClickLeft:  OutcomePsiPlus,
+		ClickRight: OutcomePsiMinus,
+		ClickBoth:  OutcomeFail,
+	}
+	for pattern, want := range cases {
+		if got := OutcomeFromClicks(pattern); got != want {
+			t.Errorf("pattern %v → %v, want %v", pattern, got, want)
+		}
+	}
+	if OutcomeFail.Success() || !OutcomePsiPlus.Success() || !OutcomePsiMinus.Success() {
+		t.Fatal("Success() classification wrong")
+	}
+}
+
+func TestIdealLinkProducesPerfectEntanglement(t *testing.T) {
+	// With no loss, no noise, perfect visibility and α = 0.5 the heralded
+	// state conditional on a single click is exactly a Bell state.
+	link := NewHeraldedLink(idealEmission(), idealEmission(), Fiber{}, Fiber{}, idealDetectors(), 1.0)
+	sampler := NewLinkSampler(link)
+	left := sampler.ConditionalState(0.5, 0.5, ClickLeft)
+	if left == nil {
+		t.Fatal("left-click conditional state missing")
+	}
+	// The conditional state contains a |00⟩ admixture from the two-photon
+	// branch; at α=0.5 with unit detection efficiency the single-click
+	// fidelity is reduced. Check the exact structure at small α instead.
+	small := sampler.ConditionalState(0.01, 0.01, ClickLeft)
+	if f := small.BellFidelity(quantum.PsiPlus); f < 0.97 {
+		t.Fatalf("small-α conditional fidelity = %v, want ≈1", f)
+	}
+	right := sampler.ConditionalState(0.01, 0.01, ClickRight)
+	if f := right.BellFidelity(quantum.PsiMinus); f < 0.97 {
+		t.Fatalf("right-click conditional fidelity = %v, want ≈1", f)
+	}
+}
+
+func TestLossyLinkFidelityApproachesOneMinusAlpha(t *testing.T) {
+	// With realistic photon loss the two-photon contamination scales as
+	// α/(1−α), giving the paper's F ≈ 1 − α rule of thumb (Section 4.4).
+	em := labEmission(0.014)
+	link := NewHeraldedLink(em, em, Fiber{LengthKM: 0.001, AttenuationDB: 5}, Fiber{LengthKM: 0.001, AttenuationDB: 5}, DetectorParams{Efficiency: 0.8, DarkCountRate: 20, Window: 25e-9}, 0.9)
+	sampler := NewLinkSampler(link)
+	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.5} {
+		f := sampler.ExpectedSuccessFidelity(alpha, alpha)
+		// The trend must match 1-α within the additional noise floor from
+		// phase uncertainty, two-photon emission and imperfect visibility.
+		if f > 1-alpha+0.01 {
+			t.Errorf("α=%v: fidelity %v unexpectedly above 1-α", alpha, f)
+		}
+		if f < 1-alpha-0.15 {
+			t.Errorf("α=%v: fidelity %v too far below 1-α", alpha, f)
+		}
+	}
+	// Monotonically decreasing in α.
+	prev := 1.0
+	for _, alpha := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		f := sampler.ExpectedSuccessFidelity(alpha, alpha)
+		if f > prev+1e-9 {
+			t.Fatalf("fidelity should decrease with α: %v then %v", prev, f)
+		}
+		prev = f
+	}
+}
+
+func TestSuccessProbabilityScalesWithAlpha(t *testing.T) {
+	// psucc ≈ 2·α·pdet: doubling α should roughly double the success
+	// probability at small α (Section 4.4).
+	em := labEmission(0.014)
+	link := NewHeraldedLink(em, em, Fiber{}, Fiber{}, DetectorParams{Efficiency: 0.8, DarkCountRate: 20, Window: 25e-9}, 0.9)
+	sampler := NewLinkSampler(link)
+	p1 := sampler.HeraldSuccessProbability(0.05, 0.05)
+	p2 := sampler.HeraldSuccessProbability(0.10, 0.10)
+	if p1 <= 0 || p2 <= 0 {
+		t.Fatalf("success probabilities should be positive: %v %v", p1, p2)
+	}
+	ratio := p2 / p1
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("success probability should scale ≈linearly with α, ratio %v", ratio)
+	}
+	// The Lab scenario's magnitude: psucc ≈ α·10⁻³.
+	pOverAlpha := sampler.HeraldSuccessProbability(0.1, 0.1) / 0.1
+	if pOverAlpha < 1e-4 || pOverAlpha > 1e-2 {
+		t.Fatalf("psucc/α = %v, want order 10⁻³", pOverAlpha)
+	}
+}
+
+func TestSamplerMatchesDirectAttempt(t *testing.T) {
+	// The cached sampler and the direct dense attempt must agree on the
+	// success statistics.
+	em := labEmission(0.5) // raise collection so successes are common
+	det := DetectorParams{Efficiency: 0.9, DarkCountRate: 0, Window: 25e-9}
+	link := NewHeraldedLink(em, em, Fiber{}, Fiber{}, det, 0.9)
+	sampler := NewLinkSampler(link)
+	rng := sim.NewRNG(42)
+	const n = 4000
+	directSuccess, sampledSuccess := 0, 0
+	for i := 0; i < n; i++ {
+		if link.Attempt(0.3, 0.3, rng).Outcome.Success() {
+			directSuccess++
+		}
+		if sampler.Sample(0.3, 0.3, rng).Outcome.Success() {
+			sampledSuccess++
+		}
+	}
+	dRate := float64(directSuccess) / n
+	sRate := float64(sampledSuccess) / n
+	if math.Abs(dRate-sRate) > 0.03 {
+		t.Fatalf("sampler and direct attempt disagree: %v vs %v", dRate, sRate)
+	}
+	analytic := sampler.HeraldSuccessProbability(0.3, 0.3)
+	if math.Abs(dRate-analytic) > 0.03 {
+		t.Fatalf("analytic herald probability %v far from empirical %v", analytic, dRate)
+	}
+}
+
+func TestSamplerStateIndependence(t *testing.T) {
+	// Mutating a sampled state must not corrupt the cache.
+	link := NewHeraldedLink(idealEmission(), idealEmission(), Fiber{}, Fiber{}, idealDetectors(), 1.0)
+	sampler := NewLinkSampler(link)
+	first := sampler.ConditionalState(0.1, 0.1, ClickLeft)
+	fBefore := first.BellFidelity(quantum.PsiPlus)
+	first.ApplyUnitary(quantum.PauliX(), 0)
+	second := sampler.ConditionalState(0.1, 0.1, ClickLeft)
+	if math.Abs(second.BellFidelity(quantum.PsiPlus)-fBefore) > tol {
+		t.Fatal("cache state was mutated by caller")
+	}
+}
+
+func TestDarkCountsProduceFalsePositives(t *testing.T) {
+	// With huge dark-count rates, heralded "successes" appear even when no
+	// photons could have arrived (α=0 means no bright-state population and
+	// thus no photons).
+	em := idealEmission()
+	det := DetectorParams{Efficiency: 1.0, DarkCountRate: 2e7, Window: 25e-9}
+	link := NewHeraldedLink(em, em, Fiber{}, Fiber{}, det, 1.0)
+	sampler := NewLinkSampler(link)
+	rng := sim.NewRNG(7)
+	success := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		res := sampler.Sample(0.0, 0.0, rng)
+		if res.Outcome.Success() {
+			success++
+			// A dark-count herald cannot carry entanglement: fidelity with
+			// either Bell state stays at the classical bound.
+			if f := res.State.BellFidelity(quantum.PsiPlus); f > 0.5+1e-9 {
+				t.Fatalf("false-positive herald carries entanglement: F=%v", f)
+			}
+		}
+	}
+	if success == 0 {
+		t.Fatal("expected dark-count false positives")
+	}
+}
+
+func TestFidelityEstimateHelpers(t *testing.T) {
+	if FidelityEstimate(0.2) != 0.8 {
+		t.Fatal("FidelityEstimate wrong")
+	}
+	if AlphaForFidelity(0.8) != 0.19999999999999996 && math.Abs(AlphaForFidelity(0.8)-0.2) > 1e-12 {
+		t.Fatal("AlphaForFidelity wrong")
+	}
+	if FidelityEstimate(1.5) != 0 {
+		t.Fatal("FidelityEstimate should clamp")
+	}
+}
+
+// Property: herald success probability is monotone non-decreasing in α and
+// bounded by 1, for a lossy link.
+func TestPropertySuccessProbabilityMonotone(t *testing.T) {
+	em := labEmission(0.014)
+	link := NewHeraldedLink(em, em, Fiber{}, Fiber{}, DetectorParams{Efficiency: 0.8, DarkCountRate: 20, Window: 25e-9}, 0.9)
+	sampler := NewLinkSampler(link)
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 0.5)
+		b = math.Mod(math.Abs(b), 0.5)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		pLo := sampler.HeraldSuccessProbability(lo, lo)
+		pHi := sampler.HeraldSuccessProbability(hi, hi)
+		return pLo <= pHi+1e-12 && pHi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ideal click probabilities always form a distribution.
+func TestPropertyClickProbabilitiesNormalised(t *testing.T) {
+	em := labEmission(0.1)
+	link := NewHeraldedLink(em, em, Fiber{LengthKM: 5, AttenuationDB: 0.5}, Fiber{LengthKM: 7, AttenuationDB: 0.5}, DetectorParams{Efficiency: 0.8, DarkCountRate: 20, Window: 25e-9}, 0.9)
+	sampler := NewLinkSampler(link)
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 1)
+		b = math.Mod(math.Abs(b), 1)
+		probs := sampler.IdealClickProbabilities(a, b)
+		sum := 0.0
+		for _, p := range probs {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package photonics
+
+import (
+	"fmt"
+
+	"repro/internal/quantum"
+)
+
+// LinkSampler caches the pre-measurement optical state for a fixed pair of
+// bright-state populations so that individual entanglement attempts are
+// cheap: the branch probabilities and conditional post-measurement electron
+// states only depend on (αA, αB) and the link parameters, so they are
+// computed once with the dense density-matrix model and then sampled
+// classically per attempt. This keeps the physics of Appendix D exact on the
+// heralded-success path while letting the discrete-event simulation run
+// hundreds of thousands of MHP cycles per second of wall time.
+type LinkSampler struct {
+	link *HeraldedLink
+
+	cache map[alphaKey]*attemptDistribution
+}
+
+type alphaKey struct{ a, b float64 }
+
+// attemptDistribution stores, for one (αA, αB) pair, the probability of each
+// ideal click pattern and the conditional electron-electron state for each.
+type attemptDistribution struct {
+	probs  [4]float64        // indexed by ClickPattern
+	states [4]*quantum.State // conditional electron states, nil when prob≈0
+}
+
+// NewLinkSampler wraps a heralded link with a per-alpha cache.
+func NewLinkSampler(link *HeraldedLink) *LinkSampler {
+	return &LinkSampler{link: link, cache: make(map[alphaKey]*attemptDistribution)}
+}
+
+// Link returns the underlying heralded link model.
+func (s *LinkSampler) Link() *HeraldedLink { return s.link }
+
+// distribution computes (or returns the cached) branch distribution for the
+// given bright-state populations.
+func (s *LinkSampler) distribution(alphaA, alphaB float64) *attemptDistribution {
+	key := alphaKey{alphaA, alphaB}
+	if d, ok := s.cache[key]; ok {
+		return d
+	}
+	d := s.computeDistribution(alphaA, alphaB)
+	s.cache[key] = d
+	return d
+}
+
+// computeDistribution runs the dense model once and collapses it onto each
+// of the four ideal click patterns.
+func (s *LinkSampler) computeDistribution(alphaA, alphaB float64) *attemptDistribution {
+	if alphaA < 0 || alphaA > 1 || alphaB < 0 || alphaB > 1 {
+		panic(fmt.Sprintf("photonics: bright state population out of range (%v, %v)", alphaA, alphaB))
+	}
+	l := s.link
+	stateA := quantum.NewStateFromKet(electronPhotonKet(alphaA))
+	stateB := quantum.NewStateFromKet(electronPhotonKet(alphaB))
+	joint := stateA.Tensor(stateB)
+
+	const (
+		qElectronA = 0
+		qPhotonA   = 1
+		qElectronB = 2
+		qPhotonB   = 3
+	)
+	if p := l.EmissionA.TwoPhotonProb; p > 0 {
+		joint.ApplyKraus(quantum.DephasingKraus(clamp01(p)), qElectronA)
+	}
+	if p := l.EmissionB.TwoPhotonProb; p > 0 {
+		joint.ApplyKraus(quantum.DephasingKraus(clamp01(p)), qElectronB)
+	}
+	if p := l.EmissionA.PhaseDephasingProb(); p > 0 {
+		joint.ApplyKraus(quantum.DephasingKraus(p), qPhotonA)
+	}
+	if p := l.EmissionB.PhaseDephasingProb(); p > 0 {
+		joint.ApplyKraus(quantum.DephasingKraus(p), qPhotonB)
+	}
+	for _, p := range photonLossDamping(l.EmissionA, l.FiberA) {
+		if p > 0 {
+			joint.ApplyKraus(quantum.AmplitudeDampingKraus(p), qPhotonA)
+		}
+	}
+	for _, p := range photonLossDamping(l.EmissionB, l.FiberB) {
+		if p > 0 {
+			joint.ApplyKraus(quantum.AmplitudeDampingKraus(p), qPhotonB)
+		}
+	}
+
+	povm := l.povm
+	branches := []struct {
+		pattern ClickPattern
+		povmEl  quantum.Matrix
+		kraus   quantum.Matrix
+	}{
+		{ClickNone, povm.M00, povm.K00},
+		{ClickLeft, povm.M10, povm.K10},
+		{ClickRight, povm.M01, povm.K01},
+		{ClickBoth, povm.M11, povm.K11},
+	}
+	d := &attemptDistribution{}
+	for _, br := range branches {
+		p := joint.Probability(br.povmEl, qPhotonA, qPhotonB)
+		d.probs[br.pattern] = p
+		if p > 1e-15 {
+			collapsed := joint.Copy()
+			collapsed.Collapse(br.kraus, qPhotonA, qPhotonB)
+			d.states[br.pattern] = collapsed.PartialTrace(qPhotonA, qPhotonB)
+		}
+	}
+	return d
+}
+
+// IdealClickProbabilities returns the probability of each ideal click
+// pattern for the given bright-state populations, indexed by ClickPattern.
+func (s *LinkSampler) IdealClickProbabilities(alphaA, alphaB float64) [4]float64 {
+	return s.distribution(alphaA, alphaB).probs
+}
+
+// HeraldSuccessProbability returns the probability that an attempt is
+// announced as a success by the midpoint, including detector efficiency and
+// dark counts.
+func (s *LinkSampler) HeraldSuccessProbability(alphaA, alphaB float64) float64 {
+	d := s.distribution(alphaA, alphaB)
+	det := s.link.Detectors
+	eff := det.Efficiency
+	dark := det.DarkCountProb()
+	pSuccess := 0.0
+	for pattern, p := range d.probs {
+		if p <= 0 {
+			continue
+		}
+		pSuccess += p * singleClickProbability(ClickPattern(pattern), eff, dark)
+	}
+	return pSuccess
+}
+
+// singleClickProbability returns the probability that exactly one detector
+// registers a click given the ideal pattern, detector efficiency and dark
+// count probability.
+func singleClickProbability(ideal ClickPattern, eff, dark float64) float64 {
+	// Click probability per detector given whether a real photon hit it.
+	pClick := func(hasPhoton bool) float64 {
+		if hasPhoton {
+			// Real click with probability eff, otherwise a dark count may
+			// still fire.
+			return eff + (1-eff)*dark
+		}
+		return dark
+	}
+	leftHas := ideal == ClickLeft || ideal == ClickBoth
+	rightHas := ideal == ClickRight || ideal == ClickBoth
+	pL := pClick(leftHas)
+	pR := pClick(rightHas)
+	return pL*(1-pR) + pR*(1-pL)
+}
+
+// ConditionalState returns a copy of the electron-electron state conditional
+// on the given ideal click pattern (nil when that pattern has zero
+// probability).
+func (s *LinkSampler) ConditionalState(alphaA, alphaB float64, pattern ClickPattern) *quantum.State {
+	d := s.distribution(alphaA, alphaB)
+	st := d.states[pattern]
+	if st == nil {
+		return nil
+	}
+	return st.Copy()
+}
+
+// Sample performs one attempt: the ideal click pattern is drawn from the
+// cached distribution, detector noise is applied, and the conditional
+// electron state for the ideal pattern is returned. The observed outcome is
+// what the midpoint announces; the state reflects the true physical
+// collapse, so dark-count false positives naturally yield low-fidelity
+// pairs.
+func (s *LinkSampler) Sample(alphaA, alphaB float64, rng RandomSource) AttemptResult {
+	d := s.distribution(alphaA, alphaB)
+	u := rng.Float64()
+	total := 0.0
+	for _, p := range d.probs {
+		total += p
+	}
+	ideal := ClickNone
+	if total > 0 {
+		x := u * total
+		for pattern, p := range d.probs {
+			x -= p
+			if x < 0 {
+				ideal = ClickPattern(pattern)
+				break
+			}
+		}
+	}
+	observed := ApplyDetectorNoise(ideal, s.link.Detectors, rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+	var st *quantum.State
+	if d.states[ideal] != nil {
+		st = d.states[ideal].Copy()
+	} else {
+		st = quantum.NewState(2)
+	}
+	return AttemptResult{
+		Outcome:         OutcomeFromClicks(observed),
+		State:           st,
+		IdealPattern:    ideal,
+		ObservedPattern: observed,
+	}
+}
+
+// ExpectedSuccessFidelity returns the fidelity (with the heralded Bell
+// state) of the conditional electron state averaged over the two success
+// outcomes, ignoring dark-count false positives. This is the quantity
+// plotted against α in Figure 8 of the paper.
+func (s *LinkSampler) ExpectedSuccessFidelity(alphaA, alphaB float64) float64 {
+	d := s.distribution(alphaA, alphaB)
+	pLeft, pRight := d.probs[ClickLeft], d.probs[ClickRight]
+	if pLeft+pRight <= 0 {
+		return 0
+	}
+	f := 0.0
+	if st := d.states[ClickLeft]; st != nil {
+		f += pLeft * st.BellFidelity(quantum.PsiPlus)
+	}
+	if st := d.states[ClickRight]; st != nil {
+		f += pRight * st.BellFidelity(quantum.PsiMinus)
+	}
+	return f / (pLeft + pRight)
+}

@@ -1,0 +1,192 @@
+package quantum
+
+import (
+	"math"
+)
+
+// BellState labels the four maximally entangled two-qubit Bell states.
+type BellState int
+
+// The four Bell states (Eqs. 9–12 of the paper's appendix).
+const (
+	PhiPlus  BellState = iota // (|00⟩+|11⟩)/√2
+	PhiMinus                  // (|00⟩−|11⟩)/√2
+	PsiPlus                   // (|01⟩+|10⟩)/√2
+	PsiMinus                  // (|01⟩−|10⟩)/√2
+)
+
+// String renders the conventional name of the Bell state.
+func (b BellState) String() string {
+	switch b {
+	case PhiPlus:
+		return "Phi+"
+	case PhiMinus:
+		return "Phi-"
+	case PsiPlus:
+		return "Psi+"
+	case PsiMinus:
+		return "Psi-"
+	default:
+		return "?"
+	}
+}
+
+// BellKet returns the state vector of the Bell state.
+func BellKet(b BellState) Ket {
+	s := complex(1/math.Sqrt2, 0)
+	switch b {
+	case PhiPlus:
+		return Ket{s, 0, 0, s}
+	case PhiMinus:
+		return Ket{s, 0, 0, -s}
+	case PsiPlus:
+		return Ket{0, s, s, 0}
+	case PsiMinus:
+		return Ket{0, s, -s, 0}
+	default:
+		panic("quantum: unknown Bell state")
+	}
+}
+
+// NewBellState returns a two-qubit density matrix prepared in the given Bell
+// state.
+func NewBellState(b BellState) *State { return NewStateFromKet(BellKet(b)) }
+
+// Fidelity returns the fidelity F = ⟨ψ|ρ|ψ⟩ of the state with the pure
+// target ket (Eq. 15). The ket dimension must match the state dimension.
+func (s *State) Fidelity(target Ket) float64 {
+	if len(target) != s.Dim() {
+		panic("quantum: fidelity target dimension mismatch")
+	}
+	var f complex128
+	dim := s.Dim()
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			f += conj(target[i]) * s.rho.Data[i*dim+j] * target[j]
+		}
+	}
+	return clamp01(real(f))
+}
+
+// BellFidelity returns the fidelity of a two-qubit state with the given Bell
+// state.
+func (s *State) BellFidelity(b BellState) float64 {
+	if s.numQubits != 2 {
+		panic("quantum: BellFidelity requires a two-qubit state")
+	}
+	return s.Fidelity(BellKet(b))
+}
+
+// conj is a small helper avoiding an extra cmplx import at call sites.
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// QBER holds the quantum bit error rates in the three measurement bases.
+type QBER struct {
+	X, Y, Z float64
+}
+
+// FidelityFromQBER converts QBER estimates into a fidelity estimate with the
+// |Ψ−⟩ target using Eq. (16): F = 1 − (QBERX+QBERY+QBERZ)/2.
+func FidelityFromQBER(q QBER) float64 {
+	return clamp01(1 - (q.X+q.Y+q.Z)/2)
+}
+
+// ExpectedQBER computes the exact QBER of a two-qubit state with respect to
+// the correlation pattern of the given Bell state: the probability that the
+// two measurement outcomes violate the ideal (anti-)correlation in each
+// basis.
+func ExpectedQBER(s *State, target BellState) QBER {
+	if s.NumQubits() != 2 {
+		panic("quantum: ExpectedQBER requires a two-qubit state")
+	}
+	var q QBER
+	q.X = errorProbability(s, BasisX, target)
+	q.Y = errorProbability(s, BasisY, target)
+	q.Z = errorProbability(s, BasisZ, target)
+	return q
+}
+
+// correlated reports whether ideal measurement outcomes in the given basis
+// are equal (true) or opposite (false) for the Bell state.
+func correlated(b BasisLabel, target BellState) bool {
+	// For |Φ+⟩: correlated in X and Z, anti-correlated in Y.
+	// For |Φ−⟩: correlated in Z and Y? No — derive from stabilisers:
+	//   Φ+ : +XX, −YY? Actually Φ+ has stabilisers XX, ZZ, −YY.
+	//   Φ− : −XX, ZZ, YY.
+	//   Ψ+ : XX, −ZZ, YY.
+	//   Ψ− : −XX, −ZZ, −YY.
+	// Correlated (outcomes equal) in basis B iff the BB stabiliser has
+	// eigenvalue +1.
+	switch target {
+	case PhiPlus:
+		return b == BasisX || b == BasisZ
+	case PhiMinus:
+		return b == BasisZ || b == BasisY
+	case PsiPlus:
+		return b == BasisX || b == BasisY
+	case PsiMinus:
+		return false
+	default:
+		panic("quantum: unknown Bell state")
+	}
+}
+
+// errorProbability returns the probability that measuring both qubits of s
+// in basis b yields outcomes inconsistent with the ideal correlations of the
+// target Bell state.
+func errorProbability(s *State, b BasisLabel, target BellState) float64 {
+	pEqual := 0.0
+	for outcome := 0; outcome < 2; outcome++ {
+		pA := BasisProjector(b, outcome)
+		pB := BasisProjector(b, outcome)
+		joint := pA.Kron(pB)
+		pEqual += s.ExpectationReal(joint, 0, 1)
+	}
+	pEqual = clamp01(pEqual)
+	if correlated(b, target) {
+		return 1 - pEqual
+	}
+	return pEqual
+}
+
+// MeasureCorrelation samples a joint measurement of both qubits of a
+// two-qubit state in the same basis and returns the two outcomes. The
+// uniform sample u in [0,1) selects the branch, so callers drive randomness
+// explicitly (keeping all stochasticity inside the simulator RNG).
+func MeasureCorrelation(s *State, b BasisLabel, u float64) (outcomeA, outcomeB int) {
+	if s.NumQubits() != 2 {
+		panic("quantum: MeasureCorrelation requires a two-qubit state")
+	}
+	// Joint outcome probabilities p(a,b).
+	var probs [4]float64
+	idx := 0
+	for a := 0; a < 2; a++ {
+		for bb := 0; bb < 2; bb++ {
+			joint := BasisProjector(b, a).Kron(BasisProjector(b, bb))
+			probs[idx] = clamp01(s.ExpectationReal(joint, 0, 1))
+			idx++
+		}
+	}
+	total := probs[0] + probs[1] + probs[2] + probs[3]
+	if total <= 0 {
+		return 0, 0
+	}
+	x := u * total
+	for i, p := range probs {
+		x -= p
+		if x < 0 {
+			return i / 2, i % 2
+		}
+	}
+	return 1, 1
+}

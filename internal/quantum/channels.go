@@ -1,0 +1,141 @@
+package quantum
+
+import (
+	"math"
+)
+
+// This file implements the noise channels of Appendix D as Kraus-operator
+// maps: dephasing, depolarisation, amplitude damping, and the combined
+// T1/T2 memory decoherence model used for the NV electron and carbon spins.
+
+// DephasingKraus returns the Kraus operators of the single-qubit dephasing
+// channel ρ → (1−p)·ρ + p·ZρZ (Eq. 14 / Eq. 24 of the paper).
+func DephasingKraus(p float64) []Matrix {
+	checkProbability(p, "dephasing")
+	k0 := I2().Scale(complex(math.Sqrt(1-p), 0))
+	k1 := PauliZ().Scale(complex(math.Sqrt(p), 0))
+	return []Matrix{k0, k1}
+}
+
+// DepolarizingKraus returns the Kraus operators of the single-qubit
+// depolarising channel ρ → f·ρ + (1−f)/3·(XρX + YρY + ZρZ) used for state
+// initialisation noise (Appendix D.3.1); f is the channel fidelity.
+func DepolarizingKraus(f float64) []Matrix {
+	checkProbability(f, "depolarizing fidelity")
+	p := (1 - f) / 3
+	return []Matrix{
+		I2().Scale(complex(math.Sqrt(f), 0)),
+		PauliX().Scale(complex(math.Sqrt(p), 0)),
+		PauliY().Scale(complex(math.Sqrt(p), 0)),
+		PauliZ().Scale(complex(math.Sqrt(p), 0)),
+	}
+}
+
+// AmplitudeDampingKraus returns the Kraus operators of the amplitude damping
+// channel with damping parameter p, used to model photon loss on the
+// presence/absence encoding (Appendix D.4.4–D.4.6).
+func AmplitudeDampingKraus(p float64) []Matrix {
+	checkProbability(p, "amplitude damping")
+	k0 := matrix2(1, 0, 0, complex(math.Sqrt(1-p), 0))
+	k1 := matrix2(0, complex(math.Sqrt(p), 0), 0, 0)
+	return []Matrix{k0, k1}
+}
+
+// GateNoiseKraus returns the dephasing channel applied after a perfect gate
+// to model a noisy gate of the given fidelity (Appendix D.3.1).
+func GateNoiseKraus(fidelity float64) []Matrix {
+	return DephasingKraus(1 - fidelity)
+}
+
+// T1T2Params captures the exponential relaxation (T1) and dephasing (T2)
+// times of a memory, in seconds. A zero or infinite value disables the
+// corresponding decay.
+type T1T2Params struct {
+	T1 float64 // energy relaxation time (s); 0 or +Inf means no relaxation
+	T2 float64 // dephasing time (s); 0 or +Inf means no dephasing
+}
+
+// decayProb converts an elapsed time and characteristic time into a decay
+// probability 1 − exp(−t/τ), treating τ ≤ 0 or +Inf as "no decay".
+func decayProb(elapsed, tau float64) float64 {
+	if tau <= 0 || math.IsInf(tau, 1) || elapsed <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-elapsed/tau)
+}
+
+// MemoryNoiseKraus returns the Kraus operators modelling storage of a qubit
+// for elapsed seconds in a memory with the given T1/T2 times. The model is
+// the standard composition of amplitude damping (T1) followed by pure
+// dephasing chosen so the off-diagonal decay matches exp(−t/T2); this is the
+// behaviour illustrated by Figure 9 of the paper.
+func MemoryNoiseKraus(elapsed float64, p T1T2Params) [][]Matrix {
+	var maps [][]Matrix
+	pAmp := decayProb(elapsed, p.T1)
+	if pAmp > 0 {
+		maps = append(maps, AmplitudeDampingKraus(pAmp))
+	}
+	// Effective dephasing so the coherence decays by exp(-t/T2) overall.
+	// Amplitude damping already shrinks coherences by sqrt(1-pAmp) which
+	// corresponds to exp(-t/(2·T1)); the residual dephasing must supply the
+	// remainder: exp(-t/T2) = sqrt(1-pAmp)·(1-2·pDeph).
+	target := 0.0
+	if p.T2 > 0 && !math.IsInf(p.T2, 1) && elapsed > 0 {
+		target = math.Exp(-elapsed / p.T2)
+	} else {
+		target = 1
+	}
+	residual := 1.0
+	if target < 1 {
+		shrink := math.Sqrt(1 - pAmp)
+		if shrink <= 0 {
+			residual = 1
+		} else {
+			residual = target / shrink
+		}
+		if residual > 1 {
+			residual = 1
+		}
+		if residual < 0 {
+			residual = 0
+		}
+		pDeph := (1 - residual) / 2
+		if pDeph > 0 {
+			maps = append(maps, DephasingKraus(pDeph))
+		}
+	}
+	return maps
+}
+
+// ApplyMemoryNoise applies the T1/T2 decoherence of elapsed seconds to the
+// given qubit of the state.
+func ApplyMemoryNoise(s *State, qubit int, elapsed float64, p T1T2Params) {
+	for _, kraus := range MemoryNoiseKraus(elapsed, p) {
+		s.ApplyKraus(kraus, qubit)
+	}
+}
+
+// NuclearDephasingPerAttempt returns the dephasing probability applied to a
+// carbon (memory) spin for one entanglement generation attempt, as a
+// function of the bright state population α, the electron-carbon coupling
+// strength Δω (rad/s) and the decay constant τd (s): Eq. (25) of the paper.
+func NuclearDephasingPerAttempt(alpha, deltaOmega, tauD float64) float64 {
+	if alpha < 0 || alpha > 1 {
+		panic("quantum: bright state population out of range")
+	}
+	return alpha / 2 * (1 - math.Exp(-deltaOmega*deltaOmega*tauD*tauD/2))
+}
+
+// BlochXYShrinkage returns the factor by which the equatorial Bloch vector
+// shrinks after n entanglement attempts with per-attempt dephasing pd:
+// (1−pd)^n, Eq. (26).
+func BlochXYShrinkage(pd float64, n int) float64 {
+	checkProbability(pd, "per-attempt dephasing")
+	return math.Pow(1-pd, float64(n))
+}
+
+func checkProbability(p float64, what string) {
+	if p < -1e-12 || p > 1+1e-12 || math.IsNaN(p) {
+		panic("quantum: " + what + " probability out of [0,1]")
+	}
+}

@@ -1,0 +1,171 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Single-qubit Pauli and Hadamard gates, and the 2×2 identity, as 2×2
+// matrices in the computational basis.
+func matrix2(a, b, c, d complex128) Matrix {
+	m := NewMatrix(2)
+	m.Data[0], m.Data[1], m.Data[2], m.Data[3] = a, b, c, d
+	return m
+}
+
+// I2 returns the single-qubit identity.
+func I2() Matrix { return matrix2(1, 0, 0, 1) }
+
+// PauliX returns the bit-flip gate X.
+func PauliX() Matrix { return matrix2(0, 1, 1, 0) }
+
+// PauliY returns the Pauli Y gate.
+func PauliY() Matrix { return matrix2(0, -1i, 1i, 0) }
+
+// PauliZ returns the phase-flip gate Z.
+func PauliZ() Matrix { return matrix2(1, 0, 0, -1) }
+
+// Hadamard returns the Hadamard gate H.
+func Hadamard() Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	return matrix2(s, s, s, -s)
+}
+
+// SGate returns the phase gate S = diag(1, i).
+func SGate() Matrix { return matrix2(1, 0, 0, 1i) }
+
+// RotX returns a rotation of angle theta about the X axis of the Bloch
+// sphere: exp(-i·theta/2·X).
+func RotX(theta float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return matrix2(c, s, s, c)
+}
+
+// RotY returns a rotation of angle theta about the Y axis.
+func RotY(theta float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return matrix2(c, -s, s, c)
+}
+
+// RotZ returns a rotation of angle theta about the Z axis.
+func RotZ(theta float64) Matrix {
+	return matrix2(cmplx.Exp(complex(0, -theta/2)), 0, 0, cmplx.Exp(complex(0, theta/2)))
+}
+
+// CNOT returns the controlled-NOT gate with qubit 0 as control and qubit 1
+// as target (4×4).
+func CNOT() Matrix {
+	m := NewMatrix(4)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	m.Set(2, 3, 1)
+	m.Set(3, 2, 1)
+	return m
+}
+
+// CZ returns the controlled-Z gate (4×4).
+func CZ() Matrix {
+	m := Identity(4)
+	m.Set(3, 3, -1)
+	return m
+}
+
+// SWAP returns the two-qubit SWAP gate (4×4).
+func SWAP() Matrix {
+	m := NewMatrix(4)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 1)
+	m.Set(2, 1, 1)
+	m.Set(3, 3, 1)
+	return m
+}
+
+// ControlledRotX returns the NV electron-carbon conditional rotation of
+// Appendix D.2.2 (Eq. 22): RX(+theta) when the control (qubit 0) is |0⟩ and
+// RX(−theta) when it is |1⟩.
+func ControlledRotX(theta float64) Matrix {
+	m := NewMatrix(4)
+	plus := RotXPositive(theta)
+	minus := RotXPositive(-theta)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m.Set(i, j, plus.At(i, j))
+			m.Set(2+i, 2+j, minus.At(i, j))
+		}
+	}
+	return m
+}
+
+// RotXPositive returns exp(+i·theta/2·X), the sign convention used by
+// Eq. (22) of the paper's appendix.
+func RotXPositive(theta float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, math.Sin(theta/2))
+	return matrix2(c, s, s, c)
+}
+
+// BasisLabel identifies one of the three measurement bases used by the
+// protocol's measure-directly requests and test rounds.
+type BasisLabel int
+
+// Measurement bases.
+const (
+	BasisZ BasisLabel = iota
+	BasisX
+	BasisY
+)
+
+// String renders the basis name.
+func (b BasisLabel) String() string {
+	switch b {
+	case BasisZ:
+		return "Z"
+	case BasisX:
+		return "X"
+	case BasisY:
+		return "Y"
+	default:
+		return "?"
+	}
+}
+
+// BasisRotation returns the unitary that rotates the given basis into the
+// computational (Z) basis, so a Z measurement after the rotation implements
+// a measurement in that basis.
+func BasisRotation(b BasisLabel) Matrix {
+	switch b {
+	case BasisZ:
+		return I2()
+	case BasisX:
+		return Hadamard()
+	case BasisY:
+		// Rotate Y eigenstates onto Z: H·S†.
+		sDag := matrix2(1, 0, 0, -1i)
+		return Hadamard().Mul(sDag)
+	default:
+		panic("quantum: unknown basis")
+	}
+}
+
+// ProjectorZ returns the projector |outcome⟩⟨outcome| on a single qubit for
+// outcome 0 or 1.
+func ProjectorZ(outcome int) Matrix {
+	m := NewMatrix(2)
+	if outcome == 0 {
+		m.Set(0, 0, 1)
+	} else {
+		m.Set(1, 1, 1)
+	}
+	return m
+}
+
+// BasisProjector returns the projector onto the 0/1 eigenstate of the given
+// basis.
+func BasisProjector(b BasisLabel, outcome int) Matrix {
+	u := BasisRotation(b)
+	p := ProjectorZ(outcome)
+	// Projector in original basis: U† P U.
+	return u.Dagger().Mul(p).Mul(u)
+}

@@ -1,0 +1,524 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewStateIsGroundState(t *testing.T) {
+	s := NewState(2)
+	if s.NumQubits() != 2 || s.Dim() != 4 {
+		t.Fatalf("unexpected dims: %d qubits, dim %d", s.NumQubits(), s.Dim())
+	}
+	if !almostEqual(s.TraceReal(), 1) {
+		t.Fatalf("trace = %v, want 1", s.TraceReal())
+	}
+	if !almostEqual(s.Fidelity(Ket{1, 0, 0, 0}), 1) {
+		t.Fatal("ground state should have fidelity 1 with |00⟩")
+	}
+}
+
+func TestKetNormalization(t *testing.T) {
+	// Unnormalised ket should be normalised on construction.
+	s := NewStateFromKet(Ket{2, 0})
+	if !almostEqual(s.TraceReal(), 1) {
+		t.Fatalf("trace = %v, want 1", s.TraceReal())
+	}
+	if !almostEqual(s.Fidelity(Ket{1, 0}), 1) {
+		t.Fatal("fidelity with |0⟩ should be 1")
+	}
+}
+
+func TestPauliXFlips(t *testing.T) {
+	s := NewState(1)
+	s.ApplyUnitary(PauliX(), 0)
+	if !almostEqual(s.Fidelity(Ket{0, 1}), 1) {
+		t.Fatal("X|0⟩ should be |1⟩")
+	}
+	s.ApplyUnitary(PauliX(), 0)
+	if !almostEqual(s.Fidelity(Ket{1, 0}), 1) {
+		t.Fatal("XX|0⟩ should be |0⟩")
+	}
+}
+
+func TestHadamardCreatesSuperposition(t *testing.T) {
+	s := NewState(1)
+	s.ApplyUnitary(Hadamard(), 0)
+	invSqrt2 := complex(1/math.Sqrt2, 0)
+	if !almostEqual(s.Fidelity(Ket{invSqrt2, invSqrt2}), 1) {
+		t.Fatal("H|0⟩ should be |+⟩")
+	}
+	if !almostEqual(s.Purity(), 1) {
+		t.Fatal("pure state should have purity 1")
+	}
+}
+
+func TestCNOTCreatesBellState(t *testing.T) {
+	s := NewState(2)
+	s.ApplyUnitary(Hadamard(), 0)
+	s.ApplyUnitary(CNOT(), 0, 1)
+	if f := s.BellFidelity(PhiPlus); !almostEqual(f, 1) {
+		t.Fatalf("H,CNOT circuit should give Φ+, fidelity %v", f)
+	}
+}
+
+func TestBellStateTransforms(t *testing.T) {
+	// Eq. (13): Φ− = Z_A Φ+, Ψ+ = X_A Φ+, Ψ− = Z_A X_A Φ+.
+	cases := []struct {
+		name   string
+		gates  []Matrix
+		target BellState
+	}{
+		{"Z gives Phi-", []Matrix{PauliZ()}, PhiMinus},
+		{"X gives Psi+", []Matrix{PauliX()}, PsiPlus},
+		{"XZ gives Psi-", []Matrix{PauliX(), PauliZ()}, PsiMinus},
+	}
+	for _, tc := range cases {
+		s := NewBellState(PhiPlus)
+		for _, g := range tc.gates {
+			s.ApplyUnitary(g, 0)
+		}
+		if f := s.BellFidelity(tc.target); !almostEqual(f, 1) {
+			t.Errorf("%s: fidelity %v", tc.name, f)
+		}
+	}
+}
+
+func TestPsiMinusToPsiPlusCorrection(t *testing.T) {
+	// The MHP correction: apply Z on one qubit of Ψ− to obtain Ψ+.
+	s := NewBellState(PsiMinus)
+	s.ApplyUnitary(PauliZ(), 0)
+	if f := s.BellFidelity(PsiPlus); !almostEqual(f, 1) {
+		t.Fatalf("Z correction should map Ψ− to Ψ+, fidelity %v", f)
+	}
+}
+
+func TestUnitaryOnSecondQubit(t *testing.T) {
+	s := NewState(2)
+	s.ApplyUnitary(PauliX(), 1)
+	if !almostEqual(s.Fidelity(Ket{0, 1, 0, 0}), 1) {
+		t.Fatal("X on qubit 1 should give |01⟩")
+	}
+}
+
+func TestTwoQubitGateOnReversedOrder(t *testing.T) {
+	// CNOT with control=1, target=0 applied to |01⟩ should give |11⟩.
+	s := NewState(2)
+	s.ApplyUnitary(PauliX(), 1)
+	s.ApplyUnitary(CNOT(), 1, 0)
+	if !almostEqual(s.Fidelity(Ket{0, 0, 0, 1}), 1) {
+		t.Fatal("reversed CNOT should flip qubit 0 when qubit 1 is |1⟩")
+	}
+}
+
+func TestTensorAndPartialTrace(t *testing.T) {
+	bell := NewBellState(PhiPlus)
+	extra := NewState(1)
+	extra.ApplyUnitary(PauliX(), 0)
+	joint := bell.Tensor(extra)
+	if joint.NumQubits() != 3 {
+		t.Fatalf("joint state should have 3 qubits, got %d", joint.NumQubits())
+	}
+	// Tracing out the extra qubit should recover the Bell state.
+	reduced := joint.PartialTrace(2)
+	if f := reduced.BellFidelity(PhiPlus); !almostEqual(f, 1) {
+		t.Fatalf("partial trace should recover Φ+, fidelity %v", f)
+	}
+	// Tracing out one Bell qubit should give the maximally mixed state.
+	mixed := bell.PartialTrace(0)
+	rho := mixed.Density()
+	if !almostEqual(real(rho.At(0, 0)), 0.5) || !almostEqual(real(rho.At(1, 1)), 0.5) {
+		t.Fatalf("reduced Bell state should be maximally mixed, got %v, %v", rho.At(0, 0), rho.At(1, 1))
+	}
+	if cmplx.Abs(rho.At(0, 1)) > tol {
+		t.Fatal("reduced Bell state should have no coherence")
+	}
+}
+
+func TestPartialTraceMiddleQubit(t *testing.T) {
+	// Prepare |0⟩ ⊗ Φ+ on qubits (0; 1,2), then trace out qubit 1: the
+	// remaining pair (0,2) should be a product state with qubit 2 mixed.
+	bell := NewBellState(PhiPlus)
+	s := NewState(1).Tensor(bell)
+	reduced := s.PartialTrace(1)
+	if reduced.NumQubits() != 2 {
+		t.Fatalf("expected 2 qubits, got %d", reduced.NumQubits())
+	}
+	rho := reduced.Density()
+	// Expect diag(1/2, 1/2, 0, 0): qubit0=|0⟩, qubit2 maximally mixed.
+	if !almostEqual(real(rho.At(0, 0)), 0.5) || !almostEqual(real(rho.At(1, 1)), 0.5) {
+		t.Fatalf("unexpected reduced state diagonal: %v %v", rho.At(0, 0), rho.At(1, 1))
+	}
+}
+
+func TestCollapseProjectiveMeasurement(t *testing.T) {
+	s := NewState(1)
+	s.ApplyUnitary(Hadamard(), 0)
+	p := s.Collapse(ProjectorZ(0), 0)
+	if !almostEqual(p, 0.5) {
+		t.Fatalf("collapse probability should be 0.5, got %v", p)
+	}
+	if !almostEqual(s.Fidelity(Ket{1, 0}), 1) {
+		t.Fatal("collapsed state should be |0⟩")
+	}
+	// Collapsing onto an orthogonal outcome now has probability zero and
+	// leaves the state unchanged.
+	if p := s.Collapse(ProjectorZ(1), 0); p != 0 {
+		t.Fatalf("orthogonal collapse should have probability 0, got %v", p)
+	}
+}
+
+func TestBellMeasurementCorrelations(t *testing.T) {
+	// Φ+ must be correlated in Z and X, anti-correlated in Y.
+	s := NewBellState(PhiPlus)
+	q := ExpectedQBER(s, PhiPlus)
+	if !almostEqual(q.X, 0) || !almostEqual(q.Y, 0) || !almostEqual(q.Z, 0) {
+		t.Fatalf("perfect Φ+ should have zero QBER, got %+v", q)
+	}
+	// Ψ− is anti-correlated in every basis; QBER against Ψ− target is 0.
+	sm := NewBellState(PsiMinus)
+	qm := ExpectedQBER(sm, PsiMinus)
+	if !almostEqual(qm.X, 0) || !almostEqual(qm.Y, 0) || !almostEqual(qm.Z, 0) {
+		t.Fatalf("perfect Ψ− should have zero QBER, got %+v", qm)
+	}
+	// Measuring Φ+ against the Ψ− correlation pattern should give errors.
+	qWrong := ExpectedQBER(s, PsiMinus)
+	if qWrong.Z < 0.9 {
+		t.Fatalf("Φ+ measured against Ψ− pattern should show Z errors, got %+v", qWrong)
+	}
+}
+
+func TestFidelityFromQBERRelation(t *testing.T) {
+	// Apply a known depolarising-like mixture to Ψ− and check Eq. (16).
+	s := NewBellState(PsiMinus)
+	s.ApplyKraus(DephasingKraus(0.1), 0)
+	q := ExpectedQBER(s, PsiMinus)
+	fEstimate := FidelityFromQBER(q)
+	fDirect := s.BellFidelity(PsiMinus)
+	if math.Abs(fEstimate-fDirect) > 1e-9 {
+		t.Fatalf("Eq.16 violated: estimate %v direct %v", fEstimate, fDirect)
+	}
+}
+
+func TestMeasureCorrelationSampling(t *testing.T) {
+	s := NewBellState(PhiPlus)
+	// In the Z basis outcomes must always be equal for Φ+.
+	for _, u := range []float64{0.01, 0.3, 0.6, 0.99} {
+		a, b := MeasureCorrelation(s, BasisZ, u)
+		if a != b {
+			t.Fatalf("Φ+ Z outcomes should be equal, got %d %d", a, b)
+		}
+	}
+	// In the Y basis outcomes must always differ for Φ+.
+	for _, u := range []float64{0.01, 0.3, 0.6, 0.99} {
+		a, b := MeasureCorrelation(s, BasisY, u)
+		if a == b {
+			t.Fatalf("Φ+ Y outcomes should differ, got %d %d", a, b)
+		}
+	}
+}
+
+func TestRotationGatesComposition(t *testing.T) {
+	// RotX(π) should equal X up to global phase: check action on |0⟩.
+	s := NewState(1)
+	s.ApplyUnitary(RotX(math.Pi), 0)
+	if !almostEqual(s.Fidelity(Ket{0, 1}), 1) {
+		t.Fatal("RotX(π)|0⟩ should be |1⟩ up to phase")
+	}
+	// RotZ leaves |0⟩ invariant.
+	s2 := NewState(1)
+	s2.ApplyUnitary(RotZ(1.23), 0)
+	if !almostEqual(s2.Fidelity(Ket{1, 0}), 1) {
+		t.Fatal("RotZ should not change |0⟩ populations")
+	}
+	// RotY(π/2)|0⟩ = |+⟩.
+	s3 := NewState(1)
+	s3.ApplyUnitary(RotY(math.Pi/2), 0)
+	inv := complex(1/math.Sqrt2, 0)
+	if !almostEqual(s3.Fidelity(Ket{inv, inv}), 1) {
+		t.Fatal("RotY(π/2)|0⟩ should be |+⟩")
+	}
+}
+
+func TestControlledRotX(t *testing.T) {
+	// With control |0⟩ the carbon rotates by +θ; with |1⟩ by −θ. Composing
+	// the two (via an X on the control in between) should cancel.
+	theta := math.Pi / 3
+	s := NewState(2)
+	s.ApplyUnitary(ControlledRotX(theta), 0, 1)
+	s.ApplyUnitary(PauliX(), 0)
+	s.ApplyUnitary(ControlledRotX(theta), 0, 1)
+	s.ApplyUnitary(PauliX(), 0)
+	if !almostEqual(s.Fidelity(Ket{1, 0, 0, 0}), 1) {
+		t.Fatal("±θ controlled rotations should cancel")
+	}
+}
+
+func TestGateUnitarity(t *testing.T) {
+	gates := map[string]Matrix{
+		"X": PauliX(), "Y": PauliY(), "Z": PauliZ(), "H": Hadamard(), "S": SGate(),
+		"RotX": RotX(0.7), "RotY": RotY(1.1), "RotZ": RotZ(2.3),
+		"CNOT": CNOT(), "CZ": CZ(), "SWAP": SWAP(), "cRX": ControlledRotX(0.9),
+	}
+	for name, g := range gates {
+		prod := g.Dagger().Mul(g)
+		if !prod.Equalish(Identity(g.N), 1e-9) {
+			t.Errorf("%s is not unitary", name)
+		}
+	}
+}
+
+func TestKrausCompleteness(t *testing.T) {
+	channels := map[string][]Matrix{
+		"dephasing":    DephasingKraus(0.3),
+		"depolarizing": DepolarizingKraus(0.9),
+		"ampdamp":      AmplitudeDampingKraus(0.25),
+		"gate noise":   GateNoiseKraus(0.95),
+	}
+	for name, kraus := range channels {
+		sum := NewMatrix(2)
+		for _, k := range kraus {
+			term := k.Dagger().Mul(k)
+			sum = sum.Add(term)
+		}
+		if !sum.Equalish(Identity(2), 1e-9) {
+			t.Errorf("%s Kraus operators do not sum to identity", name)
+		}
+	}
+}
+
+func TestDephasingReducesBellFidelity(t *testing.T) {
+	s := NewBellState(PsiPlus)
+	s.ApplyKraus(DephasingKraus(0.2), 0)
+	f := s.BellFidelity(PsiPlus)
+	// Dephasing with p on one qubit: F = 1-p.
+	if !almostEqual(f, 0.8) {
+		t.Fatalf("dephasing 0.2 should give F=0.8, got %v", f)
+	}
+	if !almostEqual(s.TraceReal(), 1) {
+		t.Fatal("channel should preserve trace")
+	}
+}
+
+func TestFullDephasingKillsCoherence(t *testing.T) {
+	s := NewState(1)
+	s.ApplyUnitary(Hadamard(), 0)
+	s.ApplyKraus(DephasingKraus(0.5), 0)
+	rho := s.Density()
+	if cmplx.Abs(rho.At(0, 1)) > tol {
+		t.Fatal("p=1/2 dephasing should remove all coherence")
+	}
+}
+
+func TestAmplitudeDampingDecaysExcitedState(t *testing.T) {
+	s := NewState(1)
+	s.ApplyUnitary(PauliX(), 0) // |1⟩
+	s.ApplyKraus(AmplitudeDampingKraus(0.4), 0)
+	rho := s.Density()
+	if !almostEqual(real(rho.At(1, 1)), 0.6) || !almostEqual(real(rho.At(0, 0)), 0.4) {
+		t.Fatalf("amplitude damping populations wrong: %v %v", rho.At(0, 0), rho.At(1, 1))
+	}
+}
+
+func TestMemoryNoiseT1T2(t *testing.T) {
+	// Store |+⟩ for time t in a memory with T2; the coherence should decay as
+	// exp(-t/T2), so fidelity with |+⟩ is (1+exp(-t/T2))/2.
+	params := T1T2Params{T1: math.Inf(1), T2: 1.0}
+	s := NewState(1)
+	s.ApplyUnitary(Hadamard(), 0)
+	ApplyMemoryNoise(s, 0, 0.7, params)
+	inv := complex(1/math.Sqrt2, 0)
+	want := (1 + math.Exp(-0.7)) / 2
+	if got := s.Fidelity(Ket{inv, inv}); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("T2 decay fidelity = %v, want %v", got, want)
+	}
+	// With T1 only, |1⟩ decays towards |0⟩ with probability 1-exp(-t/T1).
+	s2 := NewState(1)
+	s2.ApplyUnitary(PauliX(), 0)
+	ApplyMemoryNoise(s2, 0, 0.5, T1T2Params{T1: 1.0, T2: math.Inf(1)})
+	rho := s2.Density()
+	wantPop := math.Exp(-0.5)
+	if math.Abs(real(rho.At(1, 1))-wantPop) > 1e-9 {
+		t.Fatalf("T1 decay population = %v, want %v", real(rho.At(1, 1)), wantPop)
+	}
+	// Zero elapsed time must be a no-op.
+	s3 := NewBellState(PhiPlus)
+	ApplyMemoryNoise(s3, 0, 0, T1T2Params{T1: 1, T2: 1})
+	if !almostEqual(s3.BellFidelity(PhiPlus), 1) {
+		t.Fatal("zero elapsed time should not decohere")
+	}
+}
+
+func TestMemoryNoiseBellDecay(t *testing.T) {
+	// Figure 9 behaviour: storing one half of Ψ+ in a noisy memory reduces
+	// fidelity monotonically with storage time.
+	params := T1T2Params{T1: 2.68e-3, T2: 1.0e-3}
+	prev := 1.0
+	for _, dt := range []float64{0, 0.2e-3, 0.5e-3, 1e-3, 2e-3, 5e-3} {
+		s := NewBellState(PsiPlus)
+		ApplyMemoryNoise(s, 0, dt, params)
+		f := s.BellFidelity(PsiPlus)
+		if f > prev+1e-12 {
+			t.Fatalf("fidelity should decrease with time, %v then %v", prev, f)
+		}
+		prev = f
+	}
+	if prev < 0.25 || prev > 0.9 {
+		t.Fatalf("long-time fidelity out of plausible range: %v", prev)
+	}
+}
+
+func TestNuclearDephasingFormula(t *testing.T) {
+	// Eq. (25) with the paper's C1 parameters: Δω = 2π·377 kHz, τd = 82 ns.
+	deltaOmega := 2 * math.Pi * 377e3
+	tauD := 82e-9
+	pd := NuclearDephasingPerAttempt(0.1, deltaOmega, tauD)
+	if pd <= 0 || pd >= 0.05 {
+		t.Fatalf("per-attempt dephasing out of expected range: %v", pd)
+	}
+	// Monotone in alpha.
+	if NuclearDephasingPerAttempt(0.3, deltaOmega, tauD) <= pd {
+		t.Fatal("dephasing should increase with alpha")
+	}
+	// Eq. (26): shrinkage after N attempts.
+	if got := BlochXYShrinkage(pd, 100); math.Abs(got-math.Pow(1-pd, 100)) > 1e-12 {
+		t.Fatalf("shrinkage mismatch: %v", got)
+	}
+}
+
+func TestProbabilityAndExpectation(t *testing.T) {
+	s := NewBellState(PhiPlus)
+	p00 := ProjectorZ(0).Kron(ProjectorZ(0))
+	p01 := ProjectorZ(0).Kron(ProjectorZ(1))
+	if !almostEqual(s.Probability(p00, 0, 1), 0.5) {
+		t.Fatalf("P(00) = %v, want 0.5", s.Probability(p00, 0, 1))
+	}
+	if !almostEqual(s.Probability(p01, 0, 1), 0) {
+		t.Fatalf("P(01) = %v, want 0", s.Probability(p01, 0, 1))
+	}
+}
+
+func TestPurity(t *testing.T) {
+	pure := NewBellState(PhiPlus)
+	if !almostEqual(pure.Purity(), 1) {
+		t.Fatalf("Bell state purity = %v", pure.Purity())
+	}
+	mixed := pure.PartialTrace(1)
+	if !almostEqual(mixed.Purity(), 0.5) {
+		t.Fatalf("maximally mixed qubit purity = %v", mixed.Purity())
+	}
+}
+
+func TestBasisProjectorsSumToIdentity(t *testing.T) {
+	for _, b := range []BasisLabel{BasisX, BasisY, BasisZ} {
+		sum := BasisProjector(b, 0).Add(BasisProjector(b, 1))
+		if !sum.Equalish(Identity(2), 1e-9) {
+			t.Errorf("basis %v projectors do not sum to identity", b)
+		}
+		// Projectors must be idempotent.
+		p := BasisProjector(b, 0)
+		if !p.Mul(p).Equalish(p, 1e-9) {
+			t.Errorf("basis %v projector not idempotent", b)
+		}
+	}
+}
+
+func TestMatrixKronDimensions(t *testing.T) {
+	k := PauliX().Kron(Identity(2))
+	if k.N != 4 {
+		t.Fatalf("Kron dimension = %d, want 4", k.N)
+	}
+	// (X ⊗ I)|00⟩ = |10⟩.
+	s := NewState(2)
+	s.ApplyUnitary(k, 0, 1)
+	if !almostEqual(s.Fidelity(Ket{0, 0, 1, 0}), 1) {
+		t.Fatal("X⊗I applied incorrectly")
+	}
+}
+
+func TestStateCopyIndependence(t *testing.T) {
+	s := NewBellState(PhiPlus)
+	c := s.Copy()
+	c.ApplyUnitary(PauliX(), 0)
+	if !almostEqual(s.BellFidelity(PhiPlus), 1) {
+		t.Fatal("mutating a copy changed the original")
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	assertPanics(t, "zero qubits", func() { NewState(0) })
+	assertPanics(t, "too many qubits", func() { NewState(MaxQubits + 1) })
+	assertPanics(t, "bad ket dim", func() { NewStateFromKet(Ket{1, 0, 0}) })
+	assertPanics(t, "qubit out of range", func() { NewState(1).ApplyUnitary(PauliX(), 3) })
+	assertPanics(t, "duplicate qubit", func() { NewState(2).ApplyUnitary(CNOT(), 0, 0) })
+	assertPanics(t, "trace all out", func() { NewState(1).PartialTrace(0) })
+	assertPanics(t, "bad probability", func() { DephasingKraus(1.5) })
+	assertPanics(t, "bad fidelity target", func() { NewState(2).Fidelity(Ket{1, 0}) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// Property: applying any sequence of Kraus channels preserves the trace and
+// keeps fidelity within [0, 1].
+func TestPropertyChannelsPreserveTrace(t *testing.T) {
+	f := func(p1, p2, p3 float64, choice uint8) bool {
+		clamp := func(v float64) float64 { return math.Mod(math.Abs(v), 1) }
+		s := NewBellState(BellState(int(choice) % 4))
+		s.ApplyKraus(DephasingKraus(clamp(p1)), 0)
+		s.ApplyKraus(AmplitudeDampingKraus(clamp(p2)), 1)
+		s.ApplyKraus(DepolarizingKraus(clamp(p3)), 0)
+		if math.Abs(s.TraceReal()-1) > 1e-6 {
+			return false
+		}
+		fid := s.BellFidelity(PsiPlus)
+		return fid >= 0 && fid <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fidelity of a state with itself (pure) is 1 regardless of the
+// single-qubit unitary applied to both sides of a product state.
+func TestPropertyUnitaryPreservesPurity(t *testing.T) {
+	f := func(theta float64) bool {
+		theta = math.Mod(theta, 2*math.Pi)
+		s := NewBellState(PhiPlus)
+		s.ApplyUnitary(RotZ(theta), 0)
+		s.ApplyUnitary(RotZ(-theta), 1)
+		return math.Abs(s.Purity()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: QBER-derived fidelity always matches direct fidelity for states
+// reached from Ψ− by dephasing/amplitude damping (Eq. 16 holds for
+// Bell-diagonal perturbations of the target).
+func TestPropertyQBERFidelityConsistency(t *testing.T) {
+	f := func(p float64) bool {
+		p = math.Mod(math.Abs(p), 1)
+		s := NewBellState(PsiMinus)
+		s.ApplyKraus(DephasingKraus(p), 0)
+		q := ExpectedQBER(s, PsiMinus)
+		return math.Abs(FidelityFromQBER(q)-s.BellFidelity(PsiMinus)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

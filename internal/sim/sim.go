@@ -1,0 +1,349 @@
+// Package sim provides a small, deterministic discrete-event simulation
+// kernel used by the quantum network stack reproduction.
+//
+// The kernel models simulated time as int64 nanoseconds. Events are
+// callbacks scheduled at absolute times and executed in time order; ties are
+// broken by insertion order so that runs are fully deterministic for a given
+// random seed. The design mirrors the event-driven core of the purpose-built
+// simulator described in the paper (NetSquid/DynAA): entities register
+// handlers, schedule future work, and communicate through delayed delivery
+// (see the channel helpers in this package and internal/classical).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration constants but for simulated time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds returns the duration as a floating point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// String renders the duration using the standard library formatting.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Seconds returns the absolute simulated time as seconds since run start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time offset by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed between t and earlier.
+func (t Time) Sub(earlier Time) Duration { return Duration(t - earlier) }
+
+// String renders the time as a duration since the start of the run.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// DurationSeconds builds a Duration from a floating point number of seconds.
+func DurationSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// DurationMicroseconds builds a Duration from a floating point number of
+// microseconds.
+func DurationMicroseconds(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Handler is a callback executed when an event fires.
+type Handler func()
+
+// event is a single scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64 // insertion order, breaks ties deterministically
+	fn       Handler
+	canceled bool
+	index    int // heap index
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (id EventID) Cancel() {
+	if id.ev != nil {
+		id.ev.canceled = true
+	}
+}
+
+// eventQueue is a min-heap of events ordered by (time, sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrStopped is returned by Run when the simulation was halted explicitly.
+var ErrStopped = errors.New("sim: stopped")
+
+// Simulator is a deterministic discrete-event scheduler.
+//
+// A Simulator is not safe for concurrent use; the entire simulated network
+// runs single-threaded, which matches the determinism requirements of the
+// protocols under test (both nodes must make identical scheduling decisions).
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	rng     *RNG
+	stopped bool
+	// executed counts events that have fired since construction.
+	executed uint64
+}
+
+// New creates a simulator whose random number generator is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Executed reports how many events have fired so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule registers fn to run after delay. A negative delay is treated as
+// zero (the event runs at the current time, after already-queued events for
+// the same instant).
+func (s *Simulator) Schedule(delay Duration, fn Handler) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now.Add(delay), fn)
+}
+
+// ScheduleAt registers fn to run at absolute time at. Times in the past are
+// clamped to the present.
+func (s *Simulator) ScheduleAt(at Time, fn Handler) EventID {
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev: ev}
+}
+
+// Stop halts the simulation; Run and RunUntil return promptly after the
+// current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step executes the next pending event, returning false when none remain.
+func (s *Simulator) step(limit Time) bool {
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if limit >= 0 && next.at > limit {
+			return false
+		}
+		heap.Pop(&s.queue)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.executed++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// ErrStopped when halted by Stop, nil otherwise.
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.step(-1) {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events until the simulated clock would pass t, the queue
+// empties, or Stop is called. After returning, Now() is at most t; if events
+// remain beyond t the clock is advanced to exactly t.
+func (s *Simulator) RunUntil(t Time) error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.step(t) {
+			if s.now < t {
+				s.now = t
+			}
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunFor executes events for d simulated time starting from the current
+// clock value.
+func (s *Simulator) RunFor(d Duration) error { return s.RunUntil(s.now.Add(d)) }
+
+// Ticker invokes fn every period until the returned stop function is called
+// or the simulation ends. The first invocation happens after one full period.
+func (s *Simulator) Ticker(period Duration, fn Handler) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %d", period))
+	}
+	stopped := false
+	var tick Handler
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			s.Schedule(period, tick)
+		}
+	}
+	s.Schedule(period, tick)
+	return func() { stopped = true }
+}
+
+// RNG wraps math/rand with convenience samplers used across the simulation.
+// All stochastic behaviour in the reproduction flows through one RNG per run
+// so that scenarios are reproducible from their seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG creates a deterministic random source from seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uint64 returns a pseudo-random 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Exponential returns an exponentially distributed sample with the given
+// rate (events per unit); the mean of the distribution is 1/rate.
+func (g *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("sim: non-positive exponential rate")
+	}
+	return g.r.ExpFloat64() / rate
+}
+
+// Poisson returns a Poisson distributed sample with the given mean using
+// Knuth's algorithm for small means and a normal approximation for large
+// ones. It is used for detector dark-count modelling.
+func (g *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation with continuity correction.
+		v := g.r.NormFloat64()*math.Sqrt(mean) + mean + 0.5
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= g.r.Float64()
+		if p <= l {
+			return k - 1
+		}
+	}
+}
+
+// Choice returns a uniformly random index in [0, n) weighted by weights.
+// All weights must be non-negative; if they sum to zero the first index is
+// returned.
+func (g *RNG) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("sim: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle randomises the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,274 @@
+// Package workload implements the request-arrival models of the paper's
+// evaluation (Section 6 and Appendix C.2): in every MHP cycle a new CREATE
+// request for a random number of pairs is issued with probability
+// f·psucc/(E·k), where f sets the offered load, psucc is the per-attempt
+// success probability, E the expected cycles per attempt and k the number of
+// pairs requested. It also defines the load levels (Low/High/Ultra), the
+// origin policies (A, B, random) and the mixed-usage patterns of Appendix
+// Table 2.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/egp"
+	"repro/internal/nv"
+	"repro/internal/sim"
+)
+
+// LoadLevel is the fraction f determining the offered load.
+type LoadLevel float64
+
+// The load levels of the long runs (Section 6).
+const (
+	LoadLow   LoadLevel = 0.70
+	LoadHigh  LoadLevel = 0.99
+	LoadUltra LoadLevel = 1.50
+)
+
+// LoadName renders the paper's name of a load level.
+func LoadName(l LoadLevel) string {
+	switch l {
+	case LoadLow:
+		return "Low"
+	case LoadHigh:
+		return "High"
+	case LoadUltra:
+		return "Ultra"
+	default:
+		return fmt.Sprintf("f=%.2f", float64(l))
+	}
+}
+
+// Origin selects where CREATE requests originate.
+type Origin int
+
+// Origin policies of the fairness study.
+const (
+	OriginA Origin = iota
+	OriginB
+	OriginRandom
+)
+
+// String renders the origin policy.
+func (o Origin) String() string {
+	switch o {
+	case OriginA:
+		return "A"
+	case OriginB:
+		return "B"
+	default:
+		return "random"
+	}
+}
+
+// Class describes the request stream of one use case within a scenario.
+type Class struct {
+	// Priority selects NL, CK or MD.
+	Priority int
+	// Fraction is the f_P load fraction of this class.
+	Fraction float64
+	// MaxPairs is k_max: each request asks for a uniform random number of
+	// pairs in [1, MaxPairs].
+	MaxPairs int
+	// MinFidelity is the requested minimum fidelity (0.64 in the long runs).
+	MinFidelity float64
+	// MaxTime is the request timeout (0 = none).
+	MaxTime sim.Duration
+	// FixedPairs, when non-zero, requests exactly this many pairs instead of
+	// a random number (used by the Table 1 scheduling study).
+	FixedPairs int
+}
+
+// Keep reports whether this class issues create-and-keep requests (NL and CK
+// store the qubit; MD measures directly).
+func (c Class) Keep() bool { return c.Priority != egp.PriorityMD }
+
+// Generator issues random CREATE requests into a core.Network according to a
+// set of classes, using the per-cycle arrival model of the paper.
+type Generator struct {
+	net     *core.Network
+	classes []Class
+	origin  Origin
+	// perCycleProb[i] is the per-cycle probability of issuing a request of
+	// class i (before dividing by the sampled k).
+	baseProb []float64
+	psucc    float64
+
+	submitted map[int]int
+	stop      func()
+}
+
+// NewGenerator builds a workload generator for the given network. The
+// per-class arrival probabilities are derived from the network's calibrated
+// success probability and expected cycles per attempt, exactly as in
+// Section 6: P(new request of class P with k pairs) = f_P·psucc/(E·k).
+func NewGenerator(net *core.Network, origin Origin, classes []Class) *Generator {
+	g := &Generator{
+		net:       net,
+		classes:   classes,
+		origin:    origin,
+		submitted: make(map[int]int),
+	}
+	feu := net.EGPA.FEU()
+	for _, c := range classes {
+		alpha, ok := feu.AlphaForFidelity(c.MinFidelity)
+		psucc := 0.0
+		if ok {
+			psucc = feu.SuccessProbability(alpha)
+		}
+		rt := nv.RequestMeasure
+		if c.Keep() {
+			rt = nv.RequestKeep
+		}
+		e := net.Platform.ExpectedCyclesPerAttempt[rt]
+		if e < 1 {
+			e = 1
+		}
+		g.baseProb = append(g.baseProb, c.Fraction*psucc/e)
+	}
+	return g
+}
+
+// Start begins issuing requests on every MHP cycle of the network's base
+// clock. Call the returned stop function (or Stop) to halt arrivals.
+func (g *Generator) Start() (stop func()) {
+	period := g.net.Platform.CycleTime[nv.RequestMeasure]
+	g.stop = g.net.Sim.Ticker(period, g.tick)
+	return g.Stop
+}
+
+// Stop halts request arrivals.
+func (g *Generator) Stop() {
+	if g.stop != nil {
+		g.stop()
+		g.stop = nil
+	}
+}
+
+// Submitted returns how many requests have been issued per priority class.
+func (g *Generator) Submitted() map[int]int {
+	out := make(map[int]int, len(g.submitted))
+	for k, v := range g.submitted {
+		out[k] = v
+	}
+	return out
+}
+
+// tick runs once per MHP cycle and samples request arrivals for each class.
+func (g *Generator) tick() {
+	rng := g.net.Sim.RNG()
+	for i, c := range g.classes {
+		if c.Fraction <= 0 {
+			continue
+		}
+		k := c.FixedPairs
+		if k <= 0 {
+			k = 1
+			if c.MaxPairs > 1 {
+				k = 1 + rng.Intn(c.MaxPairs)
+			}
+		}
+		p := g.baseProb[i] / float64(k)
+		if !rng.Bernoulli(p) {
+			continue
+		}
+		origin := core.NodeA
+		switch g.origin {
+		case OriginB:
+			origin = core.NodeB
+		case OriginRandom:
+			if rng.Bernoulli(0.5) {
+				origin = core.NodeB
+			}
+		}
+		g.net.Submit(origin, egp.CreateRequest{
+			NumPairs:    k,
+			Keep:        c.Keep(),
+			MinFidelity: c.MinFidelity,
+			MaxTime:     c.MaxTime,
+			Priority:    c.Priority,
+			PurposeID:   uint16(1000 + c.Priority),
+			Consecutive: c.Priority == egp.PriorityNL || c.Priority == egp.PriorityMD,
+		})
+		g.submitted[c.Priority]++
+	}
+}
+
+// SingleKind returns the class list of a single-kind long run (Section 6):
+// one use case at the given load with kmax pairs per request and the fixed
+// target fidelity Fmin = 0.64.
+func SingleKind(priority int, load LoadLevel, kmax int) []Class {
+	return []Class{{
+		Priority:    priority,
+		Fraction:    float64(load),
+		MaxPairs:    kmax,
+		MinFidelity: 0.64,
+	}}
+}
+
+// Pattern names a mixed-usage pattern of Appendix Table 2.
+type Pattern string
+
+// The usage patterns of Appendix Table 2.
+const (
+	PatternUniform    Pattern = "Uniform"
+	PatternMoreNL     Pattern = "MoreNL"
+	PatternMoreCK     Pattern = "MoreCK"
+	PatternMoreMD     Pattern = "MoreMD"
+	PatternNoNLMoreCK Pattern = "NoNLMoreCK"
+	PatternNoNLMoreMD Pattern = "NoNLMoreMD"
+)
+
+// AllPatterns lists the mixed-usage patterns in the order of Appendix C.2.
+func AllPatterns() []Pattern {
+	return []Pattern{PatternUniform, PatternMoreNL, PatternMoreCK, PatternMoreMD, PatternNoNLMoreCK, PatternNoNLMoreMD}
+}
+
+// Mixed returns the class list of a mixed-usage pattern from Appendix
+// Table 2. The fidelity target is the long runs' fixed Fmin = 0.64.
+func Mixed(p Pattern) []Class {
+	const f = 0.99
+	mk := func(fNL, fCK, fMD float64, kNL, kCK, kMD int) []Class {
+		return []Class{
+			{Priority: egp.PriorityNL, Fraction: fNL, MaxPairs: kNL, MinFidelity: 0.64},
+			{Priority: egp.PriorityCK, Fraction: fCK, MaxPairs: kCK, MinFidelity: 0.64},
+			{Priority: egp.PriorityMD, Fraction: fMD, MaxPairs: kMD, MinFidelity: 0.64},
+		}
+	}
+	switch p {
+	case PatternUniform:
+		return mk(f/3, f/3, f/3, 1, 1, 1)
+	case PatternMoreNL:
+		return mk(f*4/6, f/6, f/6, 3, 3, 256)
+	case PatternMoreCK:
+		return mk(f/6, f*4/6, f/6, 3, 3, 256)
+	case PatternMoreMD:
+		return mk(f/6, f/6, f*4/6, 3, 3, 256)
+	case PatternNoNLMoreCK:
+		return mk(0, f*4/5, f/5, 3, 3, 256)
+	case PatternNoNLMoreMD:
+		return mk(0, f/5, f*4/5, 3, 3, 256)
+	default:
+		panic("workload: unknown pattern " + string(p))
+	}
+}
+
+// Table1Pattern returns the class lists of the two request patterns of
+// Table 1: (i) uniform load across NL/CK/MD with 2/2/10 pairs per request,
+// and (ii) no NL with more MD.
+func Table1Pattern(uniform bool) []Class {
+	const f = 0.99
+	if uniform {
+		return []Class{
+			{Priority: egp.PriorityNL, Fraction: f / 3, FixedPairs: 2, MinFidelity: 0.64},
+			{Priority: egp.PriorityCK, Fraction: f / 3, FixedPairs: 2, MinFidelity: 0.64},
+			{Priority: egp.PriorityMD, Fraction: f / 3, FixedPairs: 10, MinFidelity: 0.64},
+		}
+	}
+	return []Class{
+		{Priority: egp.PriorityCK, Fraction: f / 5, FixedPairs: 2, MinFidelity: 0.64},
+		{Priority: egp.PriorityMD, Fraction: f * 4 / 5, FixedPairs: 10, MinFidelity: 0.64},
+	}
+}
