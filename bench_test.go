@@ -8,6 +8,7 @@
 package main
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -21,10 +22,14 @@ import (
 )
 
 // benchOptions keeps every experiment benchmark short enough for routine
-// benchmarking while still exercising the full protocol stack.
+// benchmarking while still exercising the full protocol stack. Parallelism
+// is pinned to 1 so the per-experiment numbers stay comparable across
+// machines and with pre-engine baselines; the BenchmarkEngine* pair below
+// measures the parallel speedup explicitly.
 func benchOptions() experiments.Options {
 	opt := experiments.QuickOptions()
 	opt.SimulatedSeconds = 0.5
+	opt.Parallelism = 1
 	return opt
 }
 
@@ -56,6 +61,35 @@ func BenchmarkSec62Metrics(b *testing.B)     { runExperiment(b, "metrics") }
 func BenchmarkTable1Scheduling(b *testing.B) { runExperiment(b, "table1") }
 func BenchmarkTable3Mixed(b *testing.B)      { runExperiment(b, "table3") }
 func BenchmarkTable4Mixed(b *testing.B)      { runExperiment(b, "table4") }
+
+// --- Trial-engine parallelism benchmarks ---------------------------------
+
+// benchmarkEngine drives a protocol-heavy subset of the suite at a fixed
+// parallelism level so the sequential-vs-parallel wall-time ratio quantifies
+// the worker-pool speedup.
+func benchmarkEngine(b *testing.B, parallelism int) {
+	b.Helper()
+	names := []string{"fig6a", "table1", "metrics"}
+	opt := benchOptions()
+	opt.Parallelism = parallelism
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i + 1)
+		for _, name := range names {
+			runner, ok := experiments.ByName(name)
+			if !ok {
+				b.Fatalf("unknown experiment %q", name)
+			}
+			if tables := runner.Run(opt); len(tables) == 0 {
+				b.Fatal("experiment produced no data")
+			}
+		}
+	}
+}
+
+func BenchmarkEngineSequential(b *testing.B) { benchmarkEngine(b, 1) }
+
+func BenchmarkEngineParallel(b *testing.B) { benchmarkEngine(b, runtime.GOMAXPROCS(0)) }
 
 // --- Protocol-stack throughput benchmarks --------------------------------
 

@@ -7,6 +7,8 @@
 //
 //	benchsuite -list
 //	benchsuite -run fig8
+//	benchsuite -run fig6a,fig6bc -parallel 8
+//	benchsuite -run table -seconds 8 > results.txt   # every table* runner
 //	benchsuite -run all -seconds 8 > results.txt
 package main
 
@@ -14,20 +16,61 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// selectRunners resolves the -run filter: "all" (or empty) selects every
+// runner; otherwise each comma-separated term selects runners whose name
+// matches exactly or contains the term as a substring. A term matching no
+// runner is an error so typos cannot silently drop results.
+func selectRunners(filter string) ([]experiments.Runner, error) {
+	if filter == "" || filter == "all" {
+		return experiments.All(), nil
+	}
+	selected := make(map[string]bool)
+	var out []experiments.Runner
+	for _, raw := range strings.Split(filter, ",") {
+		term := strings.TrimSpace(raw)
+		if term == "" {
+			continue
+		}
+		if term == "all" {
+			return experiments.All(), nil
+		}
+		matched := false
+		for _, r := range experiments.All() {
+			if r.Name == term || strings.Contains(r.Name, term) {
+				matched = true
+				if !selected[r.Name] {
+					selected[r.Name] = true
+					out = append(out, r)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no experiment matches %q (use -list)", term)
+		}
+	}
+	return out, nil
+}
+
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment to run (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		seconds = flag.Float64("seconds", 6, "simulated seconds per protocol scenario")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		quick   = flag.Bool("quick", false, "reduced sweep resolution for a fast smoke run")
+		run      = flag.String("run", "all", "name filter: comma-separated runner names or substrings (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		seconds  = flag.Float64("seconds", 6, "simulated seconds per protocol scenario")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		quick    = flag.Bool("quick", false, "reduced sweep resolution for a fast smoke run")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per experiment (tables are identical at any level; 1 = sequential)")
 	)
 	flag.Parse()
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -36,20 +79,20 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{SimulatedSeconds: *seconds, Seed: *seed, Quick: *quick}
-
-	var runners []experiments.Runner
-	if *run == "all" {
-		runners = experiments.All()
-	} else {
-		r, ok := experiments.ByName(*run)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
-			os.Exit(2)
-		}
-		runners = []experiments.Runner{r}
+	opt := experiments.Options{
+		SimulatedSeconds: *seconds,
+		Seed:             *seed,
+		Quick:            *quick,
+		Parallelism:      *parallel,
 	}
 
+	runners, err := selectRunners(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	suiteStart := time.Now()
 	for _, r := range runners {
 		start := time.Now()
 		fmt.Printf("# %s — %s\n", r.Name, r.Description)
@@ -58,4 +101,6 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", r.Name, time.Since(start).Seconds())
 	}
+	fmt.Printf("(suite: %d runner(s) in %.1fs wall time at parallelism %d)\n",
+		len(runners), time.Since(suiteStart).Seconds(), opt.Parallelism)
 }

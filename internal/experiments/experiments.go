@@ -10,6 +10,12 @@
 // simulated time per scenario) to seconds of simulated time so the full
 // suite completes on a laptop; EXPERIMENTS.md records the paper-vs-measured
 // comparison produced by these runners.
+//
+// Every runner decomposes its sweep into independent Trials executed on a
+// shared worker pool sized by Options.Parallelism (default: one worker per
+// CPU). Each trial derives its RNG seed deterministically from the base seed
+// and its own coordinates via DeriveSeed, so tables are byte-identical at
+// every parallelism level; raising Parallelism only reduces wall time.
 package experiments
 
 import (
@@ -28,11 +34,16 @@ import (
 type Options struct {
 	// SimulatedSeconds is the simulated duration of each protocol run.
 	SimulatedSeconds float64
-	// Seed is the base random seed; scenario indices are added to it so runs
-	// differ but stay reproducible.
+	// Seed is the base random seed; each trial mixes it with its own
+	// coordinates (see Trial.DeriveSeed) so runs differ but stay
+	// reproducible.
 	Seed int64
 	// Quick reduces sweep resolution for smoke tests and Go benchmarks.
 	Quick bool
+	// Parallelism is the number of worker goroutines trials fan out across.
+	// Zero or negative means runtime.GOMAXPROCS(0). Results are independent
+	// of this value; only wall time changes.
+	Parallelism int
 }
 
 // DefaultOptions returns the scale used by the committed EXPERIMENTS.md

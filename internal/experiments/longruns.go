@@ -31,47 +31,65 @@ func RunSection62Metrics(opt Options) []Table {
 		Columns: []string{"scenario", "kind", "load", "RelDiff_fidelity", "RelDiff_throughput", "RelDiff_latency", "RelDiff_OKs"},
 	}
 
-	seed := opt.Seed
+	var trials []Trial
 	for _, scenario := range scenarioList(opt) {
 		for _, priority := range priorityOrder {
 			for _, load := range loads {
 				for _, kmax := range kmaxes {
-					seed++
-					cfg := core.DefaultConfig(scenario)
-					cfg.Seed = seed
-					classes := workload.SingleKind(priority, load, kmax)
-					net := runScenario(cfg, workload.OriginRandom, classes, opt)
-
-					qberFid := 0.0
-					if q := net.Collector.QBER(priority); q != nil && q.Samples() > 0 {
-						qberFid = q.FidelityEstimate()
-					}
-					perf.Rows = append(perf.Rows, []string{
-						string(scenario),
-						egp.PriorityName(priority),
-						workload.LoadName(load),
-						itoa(kmax),
-						f3(net.Collector.Fidelity(priority).Mean()),
-						f3(qberFid),
-						f3(net.Collector.Throughput(priority)),
-						f3(net.Collector.ScaledLatency(priority).Mean()),
-						f3(net.Collector.QueueLength().Mean()),
-						itoa(net.Collector.OKCount(priority)),
+					trials = append(trials, Trial{
+						Runner:   "metrics",
+						Scenario: scenario,
+						Priority: priority,
+						Load:     float64(load),
+						KMax:     kmax,
 					})
-					if kmax == kmaxes[len(kmaxes)-1] {
-						rep := net.Collector.Fairness(core.NodeA, core.NodeB)
-						fairness.Rows = append(fairness.Rows, []string{
-							string(scenario),
-							egp.PriorityName(priority),
-							workload.LoadName(load),
-							f3(rep.FidelityRelDiff),
-							f3(rep.ThroughputRelDiff),
-							f3(rep.LatencyRelDiff),
-							f3(rep.OKCountRelDiff),
-						})
-					}
 				}
 			}
+		}
+	}
+	lastKMax := kmaxes[len(kmaxes)-1]
+	type metricRows struct {
+		perf     []string
+		fairness []string // nil unless this trial reports fairness
+	}
+	rows := runTrials(opt, trials, func(t Trial) metricRows {
+		classes := workload.SingleKind(t.Priority, workload.LoadLevel(t.Load), t.KMax)
+		net := runProtocolTrial(opt, t, workload.OriginRandom, classes, nil)
+
+		qberFid := 0.0
+		if q := net.Collector.QBER(t.Priority); q != nil && q.Samples() > 0 {
+			qberFid = q.FidelityEstimate()
+		}
+		out := metricRows{perf: []string{
+			string(t.Scenario),
+			egp.PriorityName(t.Priority),
+			workload.LoadName(workload.LoadLevel(t.Load)),
+			itoa(t.KMax),
+			f3(net.Collector.Fidelity(t.Priority).Mean()),
+			f3(qberFid),
+			f3(net.Collector.Throughput(t.Priority)),
+			f3(net.Collector.ScaledLatency(t.Priority).Mean()),
+			f3(net.Collector.QueueLength().Mean()),
+			itoa(net.Collector.OKCount(t.Priority)),
+		}}
+		if t.KMax == lastKMax {
+			rep := net.Collector.Fairness(core.NodeA, core.NodeB)
+			out.fairness = []string{
+				string(t.Scenario),
+				egp.PriorityName(t.Priority),
+				workload.LoadName(workload.LoadLevel(t.Load)),
+				f3(rep.FidelityRelDiff),
+				f3(rep.ThroughputRelDiff),
+				f3(rep.LatencyRelDiff),
+				f3(rep.OKCountRelDiff),
+			}
+		}
+		return out
+	})
+	for _, r := range rows {
+		perf.Rows = append(perf.Rows, r.perf)
+		if r.fairness != nil {
+			fairness.Rows = append(fairness.Rows, r.fairness)
 		}
 	}
 	return []Table{perf, fairness}
@@ -101,42 +119,62 @@ func RunTable1Scheduling(opt Options) []Table {
 		Caption: "Scaled latency (s) per kind, FCFS vs WFQ (Table 1, bottom)",
 		Columns: []string{"pattern", "scheduler", "NL", "CK", "MD"},
 	}
-	seed := opt.Seed
+	type table1Case struct {
+		name    string
+		sched   string
+		uniform bool
+	}
+	var cases []trialCase[table1Case]
 	for _, pat := range patterns {
 		for _, sched := range schedulers {
-			seed++
-			cfg := core.DefaultConfig(scenario)
-			cfg.Seed = seed
-			cfg.Scheduler = sched
-			classes := workload.Table1Pattern(pat.uniform)
-			net := runScenario(cfg, workload.OriginRandom, classes, opt)
-
-			row := []string{pat.name, sched}
-			total := 0.0
-			for _, priority := range priorityOrder {
-				th := net.Collector.Throughput(priority)
-				total += th
-				if !pat.uniform && priority == egp.PriorityNL {
-					row = append(row, "-")
-					continue
-				}
-				row = append(row, f3(th))
-			}
-			row = append(row, f3(total))
-			throughput.Rows = append(throughput.Rows, row)
-
-			lrow := []string{pat.name, sched}
-			for _, priority := range priorityOrder {
-				if !pat.uniform && priority == egp.PriorityNL {
-					lrow = append(lrow, "-")
-					continue
-				}
-				lrow = append(lrow, fmt.Sprintf("%.3f (%.3f)",
-					net.Collector.ScaledLatency(priority).Mean(),
-					net.Collector.ScaledLatency(priority).StdErr()))
-			}
-			latency.Rows = append(latency.Rows, lrow)
+			cases = append(cases, trialCase[table1Case]{
+				trial: Trial{
+					Runner:   "table1",
+					Scenario: scenario,
+					Variant:  pat.name + "/" + sched,
+				},
+				ctx: table1Case{name: pat.name, sched: sched, uniform: pat.uniform},
+			})
 		}
+	}
+	type schedRows struct {
+		throughput []string
+		latency    []string
+	}
+	rows := runTrialCases(opt, cases, func(t Trial, c table1Case) schedRows {
+		classes := workload.Table1Pattern(c.uniform)
+		net := runProtocolTrial(opt, t, workload.OriginRandom, classes, func(cfg *core.Config) {
+			cfg.Scheduler = c.sched
+		})
+
+		row := []string{c.name, c.sched}
+		total := 0.0
+		for _, priority := range priorityOrder {
+			th := net.Collector.Throughput(priority)
+			total += th
+			if !c.uniform && priority == egp.PriorityNL {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, f3(th))
+		}
+		row = append(row, f3(total))
+
+		lrow := []string{c.name, c.sched}
+		for _, priority := range priorityOrder {
+			if !c.uniform && priority == egp.PriorityNL {
+				lrow = append(lrow, "-")
+				continue
+			}
+			lrow = append(lrow, fmt.Sprintf("%.3f (%.3f)",
+				net.Collector.ScaledLatency(priority).Mean(),
+				net.Collector.ScaledLatency(priority).StdErr()))
+		}
+		return schedRows{throughput: row, latency: lrow}
+	})
+	for _, r := range rows {
+		throughput.Rows = append(throughput.Rows, r.throughput)
+		latency.Rows = append(latency.Rows, r.latency)
 	}
 	return []Table{throughput, latency}
 }
@@ -155,7 +193,9 @@ func RunTable4Mixed(opt Options) []Table {
 }
 
 // runMixed executes the mixed-load grid and reports either throughput
-// (Table 3) or latencies (Table 4).
+// (Table 3) or latencies (Table 4). Both tables share the runner name
+// "mixed" in their trial coordinates so they view the same simulated
+// campaign rather than two decorrelated ones.
 func runMixed(opt Options, throughputTable bool) []Table {
 	patterns := workload.AllPatterns()
 	if opt.Quick {
@@ -178,53 +218,63 @@ func runMixed(opt Options, throughputTable bool) []Table {
 		}
 	}
 
-	seed := opt.Seed
+	type mixedCase struct {
+		pattern workload.Pattern
+		sched   string
+	}
+	var cases []trialCase[mixedCase]
 	for _, scenario := range scenarioList(opt) {
 		for _, pattern := range patterns {
 			for _, sched := range schedulers {
-				seed++
-				cfg := core.DefaultConfig(scenario)
-				cfg.Seed = seed
-				cfg.Scheduler = sched
-				classes := workload.Mixed(pattern)
-				net := runScenario(cfg, workload.OriginRandom, classes, opt)
-
-				name := fmt.Sprintf("%s_%s_%s", scenario, pattern, sched)
-				hasNL := pattern != workload.PatternNoNLMoreCK && pattern != workload.PatternNoNLMoreMD
-				if throughputTable {
-					row := []string{name}
-					for _, priority := range priorityOrder {
-						if priority == egp.PriorityNL && !hasNL {
-							row = append(row, "-")
-							continue
-						}
-						row = append(row, f3(net.Collector.Throughput(priority)))
-					}
-					table.Rows = append(table.Rows, row)
-				} else {
-					row := []string{name}
-					for _, priority := range priorityOrder {
-						if priority == egp.PriorityNL && !hasNL {
-							row = append(row, "-")
-							continue
-						}
-						row = append(row, fmt.Sprintf("%.2f (%.2f)",
-							net.Collector.ScaledLatency(priority).Mean(),
-							net.Collector.ScaledLatency(priority).StdErr()))
-					}
-					for _, priority := range priorityOrder {
-						if priority == egp.PriorityNL && !hasNL {
-							row = append(row, "-")
-							continue
-						}
-						row = append(row, fmt.Sprintf("%.2f (%.2f)",
-							net.Collector.RequestLatency(priority).Mean(),
-							net.Collector.RequestLatency(priority).StdErr()))
-					}
-					table.Rows = append(table.Rows, row)
-				}
+				cases = append(cases, trialCase[mixedCase]{
+					trial: Trial{
+						Runner:   "mixed",
+						Scenario: scenario,
+						Variant:  string(pattern) + "/" + sched,
+					},
+					ctx: mixedCase{pattern: pattern, sched: sched},
+				})
 			}
 		}
 	}
+	table.Rows = runTrialCases(opt, cases, func(t Trial, c mixedCase) []string {
+		classes := workload.Mixed(c.pattern)
+		net := runProtocolTrial(opt, t, workload.OriginRandom, classes, func(cfg *core.Config) {
+			cfg.Scheduler = c.sched
+		})
+
+		name := fmt.Sprintf("%s_%s_%s", t.Scenario, c.pattern, c.sched)
+		hasNL := c.pattern != workload.PatternNoNLMoreCK && c.pattern != workload.PatternNoNLMoreMD
+		row := []string{name}
+		if throughputTable {
+			for _, priority := range priorityOrder {
+				if priority == egp.PriorityNL && !hasNL {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, f3(net.Collector.Throughput(priority)))
+			}
+			return row
+		}
+		for _, priority := range priorityOrder {
+			if priority == egp.PriorityNL && !hasNL {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f (%.2f)",
+				net.Collector.ScaledLatency(priority).Mean(),
+				net.Collector.ScaledLatency(priority).StdErr()))
+		}
+		for _, priority := range priorityOrder {
+			if priority == egp.PriorityNL && !hasNL {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f (%.2f)",
+				net.Collector.RequestLatency(priority).Mean(),
+				net.Collector.RequestLatency(priority).StdErr()))
+		}
+		return row
+	})
 	return []Table{table}
 }

@@ -33,29 +33,50 @@ func RunTable5Robustness(opt Options) []Table {
 	}
 	scenario := nv.ScenarioLab
 
-	run := func(loss float64, priority int) robustnessRun {
-		cfg := core.DefaultConfig(scenario)
-		cfg.Seed = opt.Seed + int64(priority)
-		cfg.ClassicalLossProb = loss
-		classes := []workload.Class{{
-			Priority:    priority,
-			Fraction:    0.99,
-			MaxPairs:    3,
-			MinFidelity: 0.64,
-		}}
-		net := runScenario(cfg, workload.OriginRandom, classes, opt)
-		return robustnessRun{
-			fidelity:   net.Collector.Fidelity(priority).Mean(),
-			throughput: net.Collector.Throughput(priority),
-			latency:    net.Collector.ScaledLatency(priority).Mean(),
-			pairs:      net.Collector.OKCount(priority),
-			expires:    net.Collector.ExpireCount(),
+	// One trial per (loss, kind), with the loss-free baselines first. The
+	// loss probability is deliberately kept out of the trial coordinates:
+	// baseline and lossy runs of the same kind must share one RNG stream
+	// (common random numbers) so the relative differences isolate the effect
+	// of the frame loss itself.
+	allLosses := append([]float64{0}, losses...)
+	var cases []trialCase[float64]
+	for _, loss := range allLosses {
+		for _, priority := range kinds {
+			cases = append(cases, trialCase[float64]{
+				trial: Trial{
+					Runner:   "table5",
+					Scenario: scenario,
+					Priority: priority,
+					Load:     0.99,
+					Fidelity: 0.64,
+					KMax:     3,
+				},
+				ctx: loss,
+			})
 		}
 	}
+	results := runTrialCases(opt, cases, func(t Trial, loss float64) robustnessRun {
+		classes := []workload.Class{{
+			Priority:    t.Priority,
+			Fraction:    t.Load,
+			MaxPairs:    t.KMax,
+			MinFidelity: t.Fidelity,
+		}}
+		net := runProtocolTrial(opt, t, workload.OriginRandom, classes, func(cfg *core.Config) {
+			cfg.ClassicalLossProb = loss
+		})
+		return robustnessRun{
+			fidelity:   net.Collector.Fidelity(t.Priority).Mean(),
+			throughput: net.Collector.Throughput(t.Priority),
+			latency:    net.Collector.ScaledLatency(t.Priority).Mean(),
+			pairs:      net.Collector.OKCount(t.Priority),
+			expires:    net.Collector.ExpireCount(),
+		}
+	})
 
 	baselines := make(map[int]robustnessRun)
-	for _, priority := range kinds {
-		baselines[priority] = run(0, priority)
+	for i, priority := range kinds {
+		baselines[priority] = results[i]
 	}
 
 	table := Table{
@@ -63,12 +84,12 @@ func RunTable5Robustness(opt Options) []Table {
 		Caption: "Max relative difference vs loss-free baseline under inflated classical frame loss (Table 5)",
 		Columns: []string{"p_loss", "RelDiff_fidelity", "RelDiff_throughput", "RelDiff_latency", "RelDiff_pairs", "expires"},
 	}
-	for _, loss := range losses {
+	for li, loss := range losses {
 		var maxFid, maxTh, maxLat, maxPairs float64
 		expires := 0
-		for _, priority := range kinds {
+		for ki, priority := range kinds {
 			base := baselines[priority]
-			lossy := run(loss, priority)
+			lossy := results[(li+1)*len(kinds)+ki]
 			maxFid = maxF(maxFid, metrics.RelativeDifference(base.fidelity, lossy.fidelity))
 			maxTh = maxF(maxTh, metrics.RelativeDifference(base.throughput, lossy.throughput))
 			maxLat = maxF(maxLat, metrics.RelativeDifference(base.latency, lossy.latency))

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"repro/internal/core"
 	"repro/internal/egp"
 	"repro/internal/nv"
 	"repro/internal/workload"
@@ -24,26 +23,35 @@ func RunFig6Load(opt Options) []Table {
 		Caption: "Scaled latency (s) vs offered load fraction f_P (QL2020, kmax=3, Fmin=0.64)",
 		Columns: []string{"f_P", "kind", "scaled_latency(s)", "throughput(1/s)", "queue_len(avg)"},
 	}
+	var trials []Trial
 	for _, load := range loads {
 		for _, priority := range priorityOrder {
-			cfg := core.DefaultConfig(scenario)
-			cfg.Seed = opt.Seed + int64(priority) + int64(load*100)
-			classes := []workload.Class{{
-				Priority:    priority,
-				Fraction:    load,
-				MaxPairs:    3,
-				MinFidelity: 0.64,
-			}}
-			net := runScenario(cfg, workload.OriginRandom, classes, opt)
-			table.Rows = append(table.Rows, []string{
-				f3(load),
-				egp.PriorityName(priority),
-				f3(net.Collector.ScaledLatency(priority).Mean()),
-				f3(net.Collector.Throughput(priority)),
-				f3(net.Collector.QueueLength().Mean()),
+			trials = append(trials, Trial{
+				Runner:   "fig6a",
+				Scenario: scenario,
+				Priority: priority,
+				Load:     load,
+				Fidelity: 0.64,
+				KMax:     3,
 			})
 		}
 	}
+	table.Rows = runTrials(opt, trials, func(t Trial) []string {
+		classes := []workload.Class{{
+			Priority:    t.Priority,
+			Fraction:    t.Load,
+			MaxPairs:    t.KMax,
+			MinFidelity: t.Fidelity,
+		}}
+		net := runProtocolTrial(opt, t, workload.OriginRandom, classes, nil)
+		return []string{
+			f3(t.Load),
+			egp.PriorityName(t.Priority),
+			f3(net.Collector.ScaledLatency(t.Priority).Mean()),
+			f3(net.Collector.Throughput(t.Priority)),
+			f3(net.Collector.QueueLength().Mean()),
+		}
+	})
 	return []Table{table}
 }
 
@@ -69,30 +77,45 @@ func RunFig6Fidelity(opt Options) []Table {
 		Caption: "Throughput (1/s) vs requested minimum fidelity (f_P=0.99, kmax=3)",
 		Columns: []string{"Fmin", "kind", "throughput(1/s)", "avg_fidelity"},
 	}
+	var trials []Trial
 	for _, fmin := range fidelities {
 		for _, priority := range priorityOrder {
-			cfg := core.DefaultConfig(scenario)
-			cfg.Seed = opt.Seed + int64(priority) + int64(fmin*1000)
-			classes := []workload.Class{{
-				Priority:    priority,
-				Fraction:    0.99,
-				MaxPairs:    3,
-				MinFidelity: fmin,
-			}}
-			net := runScenario(cfg, workload.OriginRandom, classes, opt)
-			latencyTable.Rows = append(latencyTable.Rows, []string{
-				f3(fmin),
-				egp.PriorityName(priority),
-				f3(net.Collector.ScaledLatency(priority).Mean()),
-				itoa(net.Collector.ErrorCount("UNSUPP")),
-			})
-			throughputTable.Rows = append(throughputTable.Rows, []string{
-				f3(fmin),
-				egp.PriorityName(priority),
-				f3(net.Collector.Throughput(priority)),
-				f3(net.Collector.Fidelity(priority).Mean()),
+			trials = append(trials, Trial{
+				Runner:   "fig6bc",
+				Scenario: scenario,
+				Priority: priority,
+				Load:     0.99,
+				Fidelity: fmin,
+				KMax:     3,
 			})
 		}
+	}
+	rows := runTrials(opt, trials, func(t Trial) [2][]string {
+		classes := []workload.Class{{
+			Priority:    t.Priority,
+			Fraction:    t.Load,
+			MaxPairs:    t.KMax,
+			MinFidelity: t.Fidelity,
+		}}
+		net := runProtocolTrial(opt, t, workload.OriginRandom, classes, nil)
+		return [2][]string{
+			{
+				f3(t.Fidelity),
+				egp.PriorityName(t.Priority),
+				f3(net.Collector.ScaledLatency(t.Priority).Mean()),
+				itoa(net.Collector.ErrorCount("UNSUPP")),
+			},
+			{
+				f3(t.Fidelity),
+				egp.PriorityName(t.Priority),
+				f3(net.Collector.Throughput(t.Priority)),
+				f3(net.Collector.Fidelity(t.Priority).Mean()),
+			},
+		}
+	})
+	for _, pair := range rows {
+		latencyTable.Rows = append(latencyTable.Rows, pair[0])
+		throughputTable.Rows = append(throughputTable.Rows, pair[1])
 	}
 	return []Table{latencyTable, throughputTable}
 }

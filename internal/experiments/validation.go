@@ -48,10 +48,6 @@ func Fig8Model(platform *nv.Platform, sampler *photonics.LinkSampler, alpha floa
 // attempts on the Lab hardware model and compares the observed heralded
 // fidelity and success probability against the theoretical model.
 func RunFig8Validation(opt Options) []Table {
-	platform := nv.LabPlatform()
-	sampler := photonics.NewLinkSampler(platform.Optics)
-	rng := sim.NewRNG(opt.Seed)
-
 	alphas := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
 	if opt.Quick {
 		alphas = []float64{0.1, 0.3, 0.5}
@@ -66,14 +62,23 @@ func RunFig8Validation(opt Options) []Table {
 		Caption: "Validation of the simulated optical model against the theoretical single-click model (Lab scenario)",
 		Columns: []string{"alpha", "F_sim", "F_model", "psucc_sim", "psucc_model", "pairs", "attempts"},
 	}
-	for _, alpha := range alphas {
-		p := samplePoint(platform, sampler, rng, alpha, targetPairs)
-		table.Rows = append(table.Rows, []string{
+	trials := make([]Trial, len(alphas))
+	for i, alpha := range alphas {
+		trials[i] = Trial{Runner: "fig8", Scenario: nv.ScenarioLab, Aux: alpha}
+	}
+	// The sampler's per-alpha cache is unsynchronized, so each trial builds
+	// its own platform and sampler; the Monte-Carlo loop dominates anyway.
+	table.Rows = runTrials(opt, trials, func(t Trial) []string {
+		platform := nv.LabPlatform()
+		sampler := photonics.NewLinkSampler(platform.Optics)
+		rng := sim.NewRNG(t.DeriveSeed(opt.Seed))
+		p := samplePoint(platform, sampler, rng, t.Aux, targetPairs)
+		return []string{
 			f3(p.Alpha), f4(p.FidelitySim), f4(p.FidelityModel),
 			formatSci(p.PSuccessSim), formatSci(p.PSuccessModel),
 			itoa(p.SampledPairs), itoa(p.SampledAttempts),
-		})
-	}
+		}
+	})
 	return []Table{table}
 }
 
@@ -162,15 +167,20 @@ func RunFig9Decoherence(opt Options) []Table {
 		Caption: "Fidelity of a stored |Ψ+⟩ vs classical communication rounds over 25 km (Fig. 9a/9b)",
 		Columns: []string{"rounds", "t_store(ms)", "F_comm", "F_memory", "F_decoupled"},
 	}
-	for _, n := range rounds {
+	trials := make([]Trial, len(rounds))
+	for i, n := range rounds {
+		trials[i] = Trial{Runner: "fig9", Aux: float64(n)}
+	}
+	table.Rows = runTrials(opt, trials, func(tr Trial) []string {
+		n := int(tr.Aux)
 		t := float64(n) * roundTime
-		table.Rows = append(table.Rows, []string{
+		return []string{
 			itoa(n), f3(t * 1e3),
 			f4(storedFidelity(t, commParams)),
 			f4(storedFidelity(t, memParams)),
 			f4(storedFidelity(t, decoupled)),
-		})
-	}
+		}
+	})
 	return []Table{table}
 }
 
