@@ -1,0 +1,243 @@
+// Command netsim runs the multi-link network layer: it instantiates a
+// topology (chain, star, grid or an explicit edge list) of heralded quantum
+// links on one deterministic simulator, drives every link with Poisson
+// CREATE traffic, and prints per-link and aggregate performance tables
+// (throughput, fidelity, latency percentiles, queue occupancy).
+//
+// Repetitions (-trials) fan out across a worker pool (-parallel); each trial
+// derives its seed from the base seed and its index, so the printed tables
+// are byte-identical at every parallelism level.
+//
+// Examples:
+//
+//	netsim -topology chain -nodes 8
+//	netsim -topology grid -nodes 9 -load 0.99 -seconds 2
+//	netsim -topology star -nodes 5 -trials 8 -parallel 4
+//	netsim -topology edges -edges 0-1,1-2,2-0 -keep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/nv"
+	"repro/internal/sim"
+)
+
+// buildSpec resolves the topology flags into a netsim.Spec.
+func buildSpec(topology string, nodes int, edgeList string) (netsim.Spec, error) {
+	switch topology {
+	case "chain":
+		return netsim.Chain(nodes), nil
+	case "star":
+		return netsim.Star(nodes), nil
+	case "grid":
+		side := int(math.Sqrt(float64(nodes)))
+		if side*side != nodes {
+			return netsim.Spec{}, fmt.Errorf("grid topology needs a square node count, got %d", nodes)
+		}
+		return netsim.Grid(side, side), nil
+	case "edges":
+		edges, err := netsim.ParseEdgeList(edgeList)
+		if err != nil {
+			return netsim.Spec{}, err
+		}
+		return netsim.FromEdges(edges), nil
+	default:
+		return netsim.Spec{}, fmt.Errorf("unknown topology %q (chain|star|grid|edges)", topology)
+	}
+}
+
+// trialStats holds one trial's per-link rows plus the aggregate row.
+type trialStats struct {
+	perLink []netsim.LinkStats
+	agg     netsim.LinkStats
+}
+
+// runTrial builds and runs one network with a trial-derived seed.
+func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, loss float64,
+	traffic netsim.TrafficConfig, seed int64, trial int, seconds float64) (trialStats, error) {
+	cfg := netsim.DefaultConfig(spec, scenario)
+	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
+	cfg.Scheduler = scheduler
+	cfg.ClassicalLossProb = loss
+	nw, err := netsim.NewNetwork(cfg)
+	if err != nil {
+		return trialStats{}, err
+	}
+	nw.AttachTraffic(traffic)
+	nw.Run(sim.DurationSeconds(seconds))
+	perLink, agg := nw.Stats()
+	return trialStats{perLink: perLink, agg: agg}, nil
+}
+
+// meanStats averages the same link's stats across trials, field by field, in
+// trial order (so the result is independent of execution interleaving).
+// Fidelity is weighted by delivered pairs and latency percentiles average
+// only over trials that delivered, so empty trials do not drag quality
+// metrics towards zero.
+func meanStats(rows []netsim.LinkStats) netsim.LinkStats {
+	var out netsim.LinkStats
+	if len(rows) == 0 {
+		return out
+	}
+	out.Link = rows[0].Link
+	n := float64(len(rows))
+	var requests, errs, pairs, fidW, latTrials float64
+	for _, r := range rows {
+		requests += float64(r.Requests)
+		errs += float64(r.Errors)
+		pairs += float64(r.Pairs)
+		out.OKRate += r.OKRate / n
+		out.QueueMean += r.QueueMean / n
+		if r.QueueMax > out.QueueMax {
+			out.QueueMax = r.QueueMax
+		}
+		if r.Pairs > 0 {
+			w := float64(r.Pairs)
+			out.Fidelity += r.Fidelity * w
+			fidW += w
+			out.LatencyP50 += r.LatencyP50
+			out.LatencyP90 += r.LatencyP90
+			out.LatencyP99 += r.LatencyP99
+			latTrials++
+		}
+	}
+	if fidW > 0 {
+		out.Fidelity /= fidW
+	}
+	if latTrials > 0 {
+		out.LatencyP50 /= latTrials
+		out.LatencyP90 /= latTrials
+		out.LatencyP99 /= latTrials
+	}
+	out.Requests = uint64(math.Round(requests / n))
+	out.Errors = uint64(math.Round(errs / n))
+	out.Pairs = int(math.Round(pairs / n))
+	return out
+}
+
+// statsRow renders one averaged row.
+func statsRow(s netsim.LinkStats) []string {
+	return []string{
+		s.Link,
+		fmt.Sprintf("%d", s.Requests),
+		fmt.Sprintf("%d", s.Errors),
+		fmt.Sprintf("%d", s.Pairs),
+		fmt.Sprintf("%.3f", s.OKRate),
+		fmt.Sprintf("%.4f", s.Fidelity),
+		fmt.Sprintf("%.4f", s.LatencyP50),
+		fmt.Sprintf("%.4f", s.LatencyP90),
+		fmt.Sprintf("%.4f", s.LatencyP99),
+		fmt.Sprintf("%.2f", s.QueueMean),
+		fmt.Sprintf("%.0f", s.QueueMax),
+	}
+}
+
+var statsColumns = []string{"link", "requests", "errors", "pairs", "throughput(1/s)", "fidelity", "lat_p50(s)", "lat_p90(s)", "lat_p99(s)", "queue(avg)", "queue(max)"}
+
+func main() {
+	var (
+		topology  = flag.String("topology", "chain", "topology: chain|star|grid|edges")
+		nodes     = flag.Int("nodes", 8, "node count (grid requires a perfect square)")
+		edgeList  = flag.String("edges", "", "explicit edge list for -topology edges, e.g. 0-1,1-2,2-0")
+		scenario  = flag.String("scenario", "Lab", "hardware scenario: Lab or QL2020")
+		scheduler = flag.String("scheduler", "FCFS", "per-link EGP scheduler: FCFS, LowerWFQ or HigherWFQ")
+		load      = flag.Float64("load", 0.7, "per-link offered load fraction f")
+		kmax      = flag.Int("kmax", 2, "maximum pairs per request")
+		fmin      = flag.Float64("fmin", 0.64, "requested minimum fidelity")
+		keep      = flag.Bool("keep", false, "issue create-and-keep (K) requests instead of measure-directly (M)")
+		loss      = flag.Float64("loss", 0, "classical per-frame loss probability")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		seconds   = flag.Float64("seconds", 1, "simulated seconds per trial")
+		trials    = flag.Int("trials", 3, "independent repetitions (seeds derived from -seed)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(*topology, *nodes, *edgeList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch nv.ScenarioID(*scenario) {
+	case nv.ScenarioLab, nv.ScenarioQL2020:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (Lab|QL2020)\n", *scenario)
+		os.Exit(2)
+	}
+	switch *scheduler {
+	case "FCFS", "LowerWFQ", "HigherWFQ":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q (FCFS|LowerWFQ|HigherWFQ)\n", *scheduler)
+		os.Exit(2)
+	}
+	if *trials <= 0 {
+		*trials = 1
+	}
+	if *parallel <= 0 {
+		*parallel = 1
+	}
+	traffic := netsim.TrafficConfig{
+		Load:        *load,
+		MaxPairs:    *kmax,
+		MinFidelity: *fmin,
+		Keep:        *keep,
+	}
+
+	// Fan the trials out over the worker pool; results land at their own
+	// index so the aggregation below is order-independent.
+	results := make([]trialStats, *trials)
+	errs := make([]error, *trials)
+	experiments.RunIndexed(*trials, *parallel, func(i int) {
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, *loss, traffic, *seed, i, *seconds)
+	})
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	kind := "M"
+	if *keep {
+		kind = "K"
+	}
+	fmt.Printf("# netsim %s on %s: load=%.2f kind=%s kmax=%d Fmin=%.2f loss=%g seed=%d %.1fs simulated, %d trial(s)\n",
+		spec, *scenario, *load, kind, *kmax, *fmin, *loss, *seed, *seconds, *trials)
+
+	perLink := experiments.Table{
+		ID:      "netsim-links",
+		Caption: fmt.Sprintf("Per-link performance, averaged over %d trial(s)", *trials),
+		Columns: statsColumns,
+	}
+	for li := range results[0].perLink {
+		rows := make([]netsim.LinkStats, *trials)
+		for ti := range results {
+			rows[ti] = results[ti].perLink[li]
+		}
+		perLink.Rows = append(perLink.Rows, statsRow(meanStats(rows)))
+	}
+	fmt.Println(perLink.String())
+
+	aggRows := make([]netsim.LinkStats, *trials)
+	for ti := range results {
+		aggRows[ti] = results[ti].agg
+	}
+	aggregate := experiments.Table{
+		ID:      "netsim-aggregate",
+		Caption: fmt.Sprintf("Network aggregate, averaged over %d trial(s)", *trials),
+		Columns: statsColumns,
+		Rows:    [][]string{statsRow(meanStats(aggRows))},
+	}
+	fmt.Println(aggregate.String())
+}

@@ -124,6 +124,83 @@ type Message struct {
 	SentAt  sim.Time
 }
 
+// Port is the sending half of a classical link as seen by one protocol
+// instance: implementations deliver the payload to the far end after the
+// link's propagation delay, possibly tagging or multiplexing it en route.
+// Channel is the direct (untagged) implementation; TagPort wraps another
+// Port for delivery through a Mux.
+type Port interface {
+	Send(payload any)
+	Delay() sim.Duration
+}
+
+// TaggedPayload wraps a payload with a numeric tag so several protocol
+// instances can share one physical channel; the receiving Mux dispatches on
+// the tag. In the network layer the tag is the link ID.
+type TaggedPayload struct {
+	Tag     uint64
+	Payload any
+}
+
+// TagPort is a Port that wraps every payload in a TaggedPayload before
+// handing it to the underlying port. One TagPort per protocol instance turns
+// a shared node-to-node channel into that instance's private link.
+type TagPort struct {
+	Tag   uint64
+	Under Port
+}
+
+// Send tags the payload and forwards it on the underlying port.
+func (p TagPort) Send(payload any) { p.Under.Send(TaggedPayload{Tag: p.Tag, Payload: payload}) }
+
+// Delay returns the underlying port's propagation delay.
+func (p TagPort) Delay() sim.Duration { return p.Under.Delay() }
+
+// Mux dispatches tagged messages arriving on any number of channels to
+// per-tag handlers. It is the receive side of TagPort: a node registers one
+// handler per link ID and points every incoming channel's delivery function
+// at Deliver.
+type Mux struct {
+	handlers map[uint64]func(Message)
+	routed   uint64
+	dropped  uint64
+}
+
+// NewMux creates an empty demultiplexer.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[uint64]func(Message))}
+}
+
+// Handle registers the handler for one tag, replacing any previous handler.
+func (m *Mux) Handle(tag uint64, h func(Message)) {
+	if h == nil {
+		panic("classical: nil mux handler")
+	}
+	m.handlers[tag] = h
+}
+
+// Deliver unwraps a TaggedPayload message and invokes the handler registered
+// for its tag, preserving the original send time. Messages that are not
+// tagged, or whose tag has no handler, are counted as dropped.
+func (m *Mux) Deliver(msg Message) {
+	tp, ok := msg.Payload.(TaggedPayload)
+	if !ok {
+		m.dropped++
+		return
+	}
+	h, ok := m.handlers[tp.Tag]
+	if !ok {
+		m.dropped++
+		return
+	}
+	m.routed++
+	h(Message{Payload: tp.Payload, SentAt: msg.SentAt})
+}
+
+// Stats returns how many messages were routed to a handler and how many were
+// dropped for missing tags or untagged payloads.
+func (m *Mux) Stats() (routed, dropped uint64) { return m.routed, m.dropped }
+
 // Channel is a unidirectional, ordered, lossy message channel with a fixed
 // propagation delay, built on the discrete-event simulator.
 type Channel struct {

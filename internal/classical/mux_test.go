@@ -1,0 +1,99 @@
+package classical
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTagPortWrapsPayloads checks the tagging port wraps every payload and
+// reports the underlying delay.
+func TestTagPortWrapsPayloads(t *testing.T) {
+	s := sim.New(1)
+	var got []Message
+	under := NewChannel("u", s, 25, 0, func(m Message) { got = append(got, m) })
+	port := TagPort{Tag: 7, Under: under}
+	if port.Delay() != 25 {
+		t.Fatalf("Delay() = %v, want 25", port.Delay())
+	}
+	port.Send([]byte{1, 2})
+	_ = s.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	tp, ok := got[0].Payload.(TaggedPayload)
+	if !ok || tp.Tag != 7 {
+		t.Fatalf("payload not tagged: %#v", got[0].Payload)
+	}
+	if b, ok := tp.Payload.([]byte); !ok || len(b) != 2 {
+		t.Fatalf("inner payload mangled: %#v", tp.Payload)
+	}
+}
+
+// TestMuxRoutesByTag registers two handlers and checks frames reach the
+// right one with the send timestamp preserved.
+func TestMuxRoutesByTag(t *testing.T) {
+	m := NewMux()
+	var at3, at9 []Message
+	m.Handle(3, func(msg Message) { at3 = append(at3, msg) })
+	m.Handle(9, func(msg Message) { at9 = append(at9, msg) })
+
+	m.Deliver(Message{Payload: TaggedPayload{Tag: 3, Payload: "a"}, SentAt: 111})
+	m.Deliver(Message{Payload: TaggedPayload{Tag: 9, Payload: "b"}, SentAt: 222})
+	m.Deliver(Message{Payload: TaggedPayload{Tag: 9, Payload: "c"}, SentAt: 333})
+
+	if len(at3) != 1 || len(at9) != 2 {
+		t.Fatalf("routing wrong: %d at tag 3, %d at tag 9", len(at3), len(at9))
+	}
+	if at3[0].Payload != "a" || at3[0].SentAt != 111 {
+		t.Fatalf("tag 3 message mangled: %+v", at3[0])
+	}
+	routed, dropped := m.Stats()
+	if routed != 3 || dropped != 0 {
+		t.Fatalf("stats = (%d, %d), want (3, 0)", routed, dropped)
+	}
+}
+
+// TestMuxDropsUnroutable counts untagged payloads and unknown tags as
+// dropped without invoking any handler.
+func TestMuxDropsUnroutable(t *testing.T) {
+	m := NewMux()
+	m.Handle(1, func(Message) { t.Fatal("handler invoked for unroutable message") })
+	m.Deliver(Message{Payload: "untagged"})
+	m.Deliver(Message{Payload: TaggedPayload{Tag: 2, Payload: "no handler"}})
+	routed, dropped := m.Stats()
+	if routed != 0 || dropped != 2 {
+		t.Fatalf("stats = (%d, %d), want (0, 2)", routed, dropped)
+	}
+}
+
+// TestMuxNilHandlerPanics documents the registration contract.
+func TestMuxNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Handle(nil) did not panic")
+		}
+	}()
+	NewMux().Handle(1, nil)
+}
+
+// TestTagPortThroughChannelIntoMux wires the full path used by the network
+// layer: two tagged ports share one channel whose delivery function is the
+// mux.
+func TestTagPortThroughChannelIntoMux(t *testing.T) {
+	s := sim.New(1)
+	m := NewMux()
+	shared := NewChannel("pair", s, 10, 0, m.Deliver)
+	var linkA, linkB int
+	m.Handle(0, func(Message) { linkA++ })
+	m.Handle(1, func(Message) { linkB++ })
+	pa := TagPort{Tag: 0, Under: shared}
+	pb := TagPort{Tag: 1, Under: shared}
+	pa.Send("x")
+	pb.Send("y")
+	pb.Send("z")
+	_ = s.Run()
+	if linkA != 1 || linkB != 2 {
+		t.Fatalf("mux misrouted: linkA=%d linkB=%d", linkA, linkB)
+	}
+}

@@ -91,7 +91,10 @@ type Config struct {
 	Side     nv.PairSide
 
 	Scheduler Scheduler
-	ToPeer    *classical.Channel
+	// ToPeer carries DQP/EGP frames to the peer EGP of the same link. Any
+	// classical.Port works: a direct Channel in the two-node network, or a
+	// TagPort over a shared node-to-node channel in the multi-link network.
+	ToPeer classical.Port
 
 	OnOK     func(OKEvent)
 	OnError  func(ErrorEvent)
@@ -163,6 +166,11 @@ type EGP struct {
 func New(cfg Config) *EGP {
 	if cfg.Sim == nil || cfg.Platform == nil || cfg.Device == nil || cfg.Sampler == nil || cfg.Registry == nil || cfg.ToPeer == nil {
 		panic("egp: incomplete configuration")
+	}
+	// ToPeer is an interface; a nil *classical.Channel inside it would slip
+	// past the nil check above and only crash at the first send.
+	if ch, ok := cfg.ToPeer.(*classical.Channel); ok && ch == nil {
+		panic("egp: nil ToPeer channel")
 	}
 	if cfg.Scheduler == nil {
 		cfg.Scheduler = NewFCFS()

@@ -83,7 +83,7 @@ type DistributedQueue struct {
 	nodeName string
 	isMaster bool
 	simul    *sim.Simulator
-	toPeer   *classical.Channel
+	toPeer   classical.Port
 
 	maxLen int
 	window int
@@ -133,7 +133,7 @@ type QueueConfig struct {
 	NodeName        string
 	IsMaster        bool
 	Sim             *sim.Simulator
-	ToPeer          *classical.Channel
+	ToPeer          classical.Port
 	MaxLen          int // maximum items per priority lane (256 in the paper)
 	Window          int // fairness window W (maximum consecutive local enqueues)
 	RetransmitDelay sim.Duration

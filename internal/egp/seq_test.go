@@ -1,0 +1,57 @@
+package egp
+
+import "testing"
+
+// TestSeqAfterBefore pins down the circular uint16 comparison helpers used
+// for MHP sequence-number resynchronisation, including the ambiguous
+// half-range boundary at 0x8000 where neither order holds.
+func TestSeqAfterBefore(t *testing.T) {
+	cases := []struct {
+		name          string
+		a, b          uint16
+		after, before bool
+	}{
+		{"equal", 5, 5, false, false},
+		{"equal zero", 0, 0, false, false},
+		{"successor", 6, 5, true, false},
+		{"predecessor", 5, 6, false, true},
+		{"far ahead within half range", 0x4000, 1, true, false},
+		{"just inside half range", 0x8000, 1, true, false}, // distance 0x7fff
+		{"exactly half range", 0x8001, 1, false, false},    // distance 0x8000: ambiguous, neither holds
+		{"just past half range", 0x8002, 1, false, true},   // wraps: b is "after" a
+		{"wraparound ahead", 2, 0xfffe, true, false},       // 2 is 4 steps after 0xfffe
+		{"wraparound behind", 0xfffe, 2, false, true},
+		{"zero after max", 0, 0xffff, true, false},
+		{"max before zero", 0xffff, 0, false, true},
+		{"boundary from zero", 0x8000, 0, false, false}, // distance exactly 0x8000
+		{"one short of boundary from zero", 0x7fff, 0, true, false},
+	}
+	for _, c := range cases {
+		if got := seqAfter(c.a, c.b); got != c.after {
+			t.Errorf("%s: seqAfter(%#x, %#x) = %v, want %v", c.name, c.a, c.b, got, c.after)
+		}
+		if got := seqBefore(c.a, c.b); got != c.before {
+			t.Errorf("%s: seqBefore(%#x, %#x) = %v, want %v", c.name, c.a, c.b, got, c.before)
+		}
+	}
+}
+
+// TestSeqOrderingAntisymmetry sweeps distances around the boundary and
+// checks seqAfter/seqBefore are mutually exclusive everywhere and mirror
+// each other under argument swap.
+func TestSeqOrderingAntisymmetry(t *testing.T) {
+	base := uint16(0xfff0) // force wraparound in the sweep
+	for d := uint16(0); d < 16; d++ {
+		a := base + d
+		for e := uint16(0); e < 16; e++ {
+			b := base + e
+			after, before := seqAfter(a, b), seqBefore(a, b)
+			if after && before {
+				t.Fatalf("seqAfter and seqBefore both true for a=%#x b=%#x", a, b)
+			}
+			if after != seqBefore(b, a) || before != seqAfter(b, a) {
+				t.Fatalf("swap asymmetry for a=%#x b=%#x", a, b)
+			}
+		}
+	}
+}

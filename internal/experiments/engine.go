@@ -125,15 +125,26 @@ type trialCase[C any] struct {
 // runTrialCases is runTrials for trials that carry extra context.
 func runTrialCases[C, R any](opt Options, cases []trialCase[C], run func(Trial, C) R) []R {
 	out := make([]R, len(cases))
-	workers := opt.workers()
-	if workers > len(cases) {
-		workers = len(cases)
+	RunIndexed(len(cases), opt.workers(), func(i int) {
+		out[i] = run(cases[i].trial, cases[i].ctx)
+	})
+	return out
+}
+
+// RunIndexed evaluates fn(0..n-1) on a pool of at most workers goroutines.
+// Every index runs exactly once and the call returns when all have
+// completed; callers that write results to the i-th slot of a slice get
+// order-independent output. It is the fan-out primitive under the trial
+// engine, exported for CLIs (cmd/netsim) that parallelise repetitions.
+func RunIndexed(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, c := range cases {
-			out[i] = run(c.trial, c.ctx)
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return out
+		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -143,15 +154,14 @@ func runTrialCases[C, R any](opt Options, cases []trialCase[C], run func(Trial, 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(cases) {
+				if i >= n {
 					return
 				}
-				out[i] = run(cases[i].trial, cases[i].ctx)
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
 }
 
 // runProtocolTrial runs the full protocol stack for one trial: the network

@@ -127,6 +127,8 @@ func All() []Runner {
 		{Name: "table1", Description: "Scheduling strategies FCFS vs WFQ (Sec. 6.3, Table 1, Fig. 7)", Run: RunTable1Scheduling},
 		{Name: "table3", Description: "Mixed-load throughput per scenario (App. Table 3)", Run: RunTable3Mixed},
 		{Name: "table4", Description: "Mixed-load scaled and request latencies (App. Table 4)", Run: RunTable4Mixed},
+		{Name: "netchain", Description: "Multi-link chain-length scaling on the netsim network layer", Run: RunNetChain},
+		{Name: "netload", Description: "Per-link load contention on a star topology (netsim network layer)", Run: RunNetLoad},
 	}
 }
 

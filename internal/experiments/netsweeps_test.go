@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestNetChainShape checks the chain-scaling runner produces one row per
+// (scenario, length) with sane values.
+func TestNetChainShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level experiment in short mode")
+	}
+	opt := QuickOptions()
+	opt.SimulatedSeconds = 0.5
+	tables := RunNetChain(opt)
+	if len(tables) != 1 {
+		t.Fatalf("expected 1 table, got %d", len(tables))
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 2 { // quick: Lab only, lengths {2,3}
+		t.Fatalf("expected 2 rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("row width %d != %d columns", len(row), len(tbl.Columns))
+		}
+		pairs, err := strconv.Atoi(row[3])
+		if err != nil || pairs <= 0 {
+			t.Errorf("chain row has no delivered pairs: %v", row)
+		}
+	}
+}
+
+// TestNetLoadShape checks the contention runner emits per-link plus
+// aggregate rows for every load level.
+func TestNetLoadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level experiment in short mode")
+	}
+	opt := QuickOptions()
+	opt.SimulatedSeconds = 0.5
+	tables := RunNetLoad(opt)
+	if len(tables) != 1 {
+		t.Fatalf("expected 1 table, got %d", len(tables))
+	}
+	tbl := tables[0]
+	// Quick: Lab only, 2 loads, 4-node star = 3 links + 1 aggregate row each.
+	if len(tbl.Rows) != 2*4 {
+		t.Fatalf("expected 8 rows, got %d", len(tbl.Rows))
+	}
+	aggregates := 0
+	for _, row := range tbl.Rows {
+		if row[2] == "aggregate" {
+			aggregates++
+		}
+	}
+	if aggregates != 2 {
+		t.Fatalf("expected 2 aggregate rows, got %d", aggregates)
+	}
+}

@@ -75,7 +75,22 @@ type Generator interface {
 // physically at the node" — only classical information travels in REPLY.
 type PairRegistry struct {
 	pairs map[uint16]*nv.EntangledPair
+	// newest is the most recently assigned sequence number; Sweep measures
+	// staleness against it in circular uint16 distance.
+	newest    uint16
+	hasNewest bool
+	evicted   uint64
 }
+
+// Registry eviction parameters: a sweep runs whenever the registry exceeds
+// the high-water mark, and unconditionally from the node-side maintenance
+// pass; entries lagging the newest sequence number by more than the lag are
+// dropped. The lag comfortably exceeds the deepest reply pipeline (the EGP
+// caps outstanding multiplexed attempts at 64).
+const (
+	registryHighWater = 2048
+	registryMaxLag    = 1024
+)
 
 // NewPairRegistry creates an empty registry.
 func NewPairRegistry() *PairRegistry {
@@ -83,19 +98,41 @@ func NewPairRegistry() *PairRegistry {
 }
 
 // Put stores the pair generated for the given midpoint sequence number. The
-// registry keeps a bounded history: entries far behind the newest sequence
-// number are pruned, since both nodes have long since processed (or expired)
-// them.
+// registry keeps a bounded history: once it exceeds the high-water mark,
+// entries far behind the newest sequence number are swept out, since both
+// nodes have long since processed (or expired) them.
 func (r *PairRegistry) Put(seq uint16, pair *nv.EntangledPair) {
 	r.pairs[seq] = pair
-	if len(r.pairs) > 2048 {
-		for s := range r.pairs {
-			if seq-s > 1024 { // uint16 wrap-around distance
-				delete(r.pairs, s)
-			}
-		}
+	r.newest = seq
+	r.hasNewest = true
+	if len(r.pairs) > registryHighWater {
+		r.Sweep(registryMaxLag)
 	}
 }
+
+// Sweep evicts entries whose sequence number lags the newest assigned
+// sequence by more than maxLag in circular uint16 distance, returning how
+// many were dropped. Without it the registry would retain pairs forever when
+// REPLY frames are lost (the nodes never claim them), so the node-side MHP
+// calls Sweep from the same periodic maintenance pass that drops stale
+// pending attempts.
+func (r *PairRegistry) Sweep(maxLag uint16) int {
+	if !r.hasNewest {
+		return 0
+	}
+	evicted := 0
+	for s := range r.pairs {
+		if r.newest-s > maxLag { // circular distance behind newest
+			delete(r.pairs, s)
+			evicted++
+		}
+	}
+	r.evicted += uint64(evicted)
+	return evicted
+}
+
+// Evicted returns how many entries sweeps have dropped so far.
+func (r *PairRegistry) Evicted() uint64 { return r.evicted }
 
 // Get returns the pair for a midpoint sequence number, or nil.
 func (r *PairRegistry) Get(seq uint16) *nv.EntangledPair { return r.pairs[seq] }
@@ -205,9 +242,14 @@ func (n *Node) Start() (stop func()) {
 func (n *Node) runCycle() {
 	n.cycle++
 	// Periodically discard pending-attempt state whose REPLY was evidently
-	// lost, so the map stays bounded during long lossy runs.
-	if n.cycle%1024 == 0 && len(n.pending) > 0 && n.cycle > 4096 {
-		n.DropPending(n.cycle - 4096)
+	// lost, so the map stays bounded during long lossy runs; sweep the shared
+	// pair registry in the same pass, since lost REPLYs also strand pairs
+	// that neither node will ever claim.
+	if n.cycle%1024 == 0 {
+		if len(n.pending) > 0 && n.cycle > 4096 {
+			n.DropPending(n.cycle - 4096)
+		}
+		n.registry.Sweep(registryMaxLag)
 	}
 	decision := n.gen.PollTrigger(n.cycle)
 	if !decision.Attempt {

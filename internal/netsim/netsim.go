@@ -1,0 +1,398 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/classical"
+	"repro/internal/egp"
+	"repro/internal/metrics"
+	"repro/internal/mhp"
+	"repro/internal/nv"
+	"repro/internal/photonics"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// LinkID identifies one heralded link; it doubles as the classical mux tag.
+type LinkID uint64
+
+// The two per-link protocol roles. Within every link the smaller-index node
+// plays role A (distributed-queue master, pair side A), mirroring the
+// two-node network of the paper; the heralding station only knows roles, not
+// global node names.
+const (
+	roleA = "A"
+	roleB = "B"
+)
+
+// Config selects the topology, hardware scenario and protocol options of one
+// multi-link network.
+type Config struct {
+	// Spec is the topology (use Chain/Star/Grid/FromEdges).
+	Spec Spec
+	// Scenario is the hardware model every link runs on.
+	Scenario nv.ScenarioID
+	// Seed drives every random choice of the run.
+	Seed int64
+	// Scheduler names the per-link EGP scheduling strategy.
+	Scheduler string
+	// ClassicalLossProb is the per-frame loss probability of every channel.
+	ClassicalLossProb float64
+	// MaxQueueLen bounds each distributed-queue lane.
+	MaxQueueLen int
+	// EmissionMultiplexing allows M attempts to overlap midpoint replies.
+	EmissionMultiplexing bool
+	// StorageMargin is the FEU fidelity head-room.
+	StorageMargin float64
+	// HoldPairs keeps delivered K pairs in memory instead of auto-releasing.
+	HoldPairs bool
+	// QueueSamplePeriod is how often per-link queue occupancy is sampled
+	// (default 50 ms of simulated time).
+	QueueSamplePeriod sim.Duration
+}
+
+// DefaultConfig returns the options used by the network-layer experiments:
+// the given topology on the given scenario, FCFS scheduling, no classical
+// losses, emission multiplexing on.
+func DefaultConfig(spec Spec, scenario nv.ScenarioID) Config {
+	return Config{
+		Spec:                 spec,
+		Scenario:             scenario,
+		Seed:                 1,
+		Scheduler:            "FCFS",
+		EmissionMultiplexing: true,
+		MaxQueueLen:          256,
+		StorageMargin:        0.05,
+	}
+}
+
+// Link is one heralded link: a complete EGP+MHP+midpoint protocol stack with
+// its own endpoint devices, pair registry and metrics collector, sharing
+// only the simulator (and read-only platform/sampler) with other links.
+type Link struct {
+	ID   LinkID
+	Edge Edge // normalized: Edge.A < Edge.B
+	Name string
+
+	EGPA, EGPB       *egp.EGP
+	MHPA, MHPB       *mhp.Node
+	Mid              *mhp.Midpoint
+	Registry         *mhp.PairRegistry
+	DeviceA, DeviceB *nv.Device
+
+	// Collector aggregates this link's delivered pairs, latencies and queue
+	// samples; requests are accounted from the origin side only.
+	Collector *metrics.Collector
+
+	// Submitted/OKs/Errs count protocol events across both endpoints.
+	Submitted, OKs, Errs uint64
+
+	nodeNameA, nodeNameB string
+	stopA, stopB         func()
+}
+
+// EGPFor returns the EGP instance playing the given role ("A" or "B").
+func (l *Link) EGPFor(role string) *egp.EGP {
+	if role == roleB {
+		return l.EGPB
+	}
+	return l.EGPA
+}
+
+// nodeName maps a per-link role to the global node name.
+func (l *Link) nodeName(role string) string {
+	if role == roleB {
+		return l.nodeNameB
+	}
+	return l.nodeNameA
+}
+
+// requestKey builds a collector key unique across the link's two origins.
+func requestKey(role string, createID uint16) uint64 {
+	if role == roleB {
+		return 1<<32 | uint64(createID)
+	}
+	return uint64(createID)
+}
+
+// Node is one network node: its name, the links it terminates and the link
+// registry demultiplexing incoming classical frames to the right EGP.
+type Node struct {
+	Index int
+	Name  string
+	// Mux is the link registry's receive side: every channel arriving at
+	// this node delivers into it, and it dispatches by link ID.
+	Mux   *classical.Mux
+	Links []*Link
+
+	egps map[LinkID]*egp.EGP
+}
+
+// EGP returns this node's EGP instance for the given link, or nil when the
+// link does not terminate here.
+func (n *Node) EGP(id LinkID) *egp.EGP { return n.egps[id] }
+
+// Degree returns how many links terminate at this node.
+func (n *Node) Degree() int { return len(n.Links) }
+
+// register wires one link endpoint into the node's link registry.
+func (n *Node) register(l *Link, e *egp.EGP) {
+	n.Links = append(n.Links, l)
+	n.egps[l.ID] = e
+	n.Mux.Handle(uint64(l.ID), func(m classical.Message) { e.HandlePeerMessage(m) })
+}
+
+// Network is a fully wired multi-link quantum network on one simulator.
+type Network struct {
+	Config   Config
+	Sim      *sim.Simulator
+	Platform *nv.Platform
+	Sampler  *photonics.LinkSampler
+
+	Nodes []*Node
+	Links []*Link
+
+	// pairChannels holds the shared node-to-node duplexes carrying tagged
+	// DQP/EGP traffic, keyed by the normalized node pair.
+	pairChannels map[Edge]*classical.Duplex
+
+	traffic      *Traffic
+	stopSampling func()
+	started      bool
+}
+
+// NewNetwork builds and wires a multi-link network for the given
+// configuration.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxQueueLen <= 0 {
+		cfg.MaxQueueLen = 256
+	}
+	if cfg.QueueSamplePeriod <= 0 {
+		cfg.QueueSamplePeriod = 50 * sim.Millisecond
+	}
+
+	platform := nv.NewPlatform(cfg.Scenario)
+	s := sim.New(cfg.Seed)
+	nw := &Network{
+		Config:       cfg,
+		Sim:          s,
+		Platform:     platform,
+		Sampler:      photonics.NewLinkSampler(platform.Optics),
+		pairChannels: make(map[Edge]*classical.Duplex),
+	}
+
+	for i := 0; i < cfg.Spec.Nodes; i++ {
+		nw.Nodes = append(nw.Nodes, &Node{
+			Index: i,
+			Name:  fmt.Sprintf("n%d", i),
+			Mux:   classical.NewMux(),
+			egps:  make(map[LinkID]*egp.EGP),
+		})
+	}
+	for i, e := range cfg.Spec.sortedEdges() {
+		nw.buildLink(LinkID(i), e)
+	}
+	return nw, nil
+}
+
+// pairDuplex returns (building on first use) the shared classical duplex
+// between two adjacent nodes; both directions deliver into the destination
+// node's link registry.
+func (nw *Network) pairDuplex(e Edge) *classical.Duplex {
+	if d, ok := nw.pairChannels[e]; ok {
+		return d
+	}
+	a, b := nw.Nodes[e.A], nw.Nodes[e.B]
+	delay := nw.Platform.CommDelayAH + nw.Platform.CommDelayBH
+	d := classical.NewDuplex(fmt.Sprintf("%s<->%s", a.Name, b.Name), nw.Sim, delay, nw.Config.ClassicalLossProb,
+		func(m classical.Message) { b.Mux.Deliver(m) },
+		func(m classical.Message) { a.Mux.Deliver(m) })
+	nw.pairChannels[e] = d
+	return d
+}
+
+// buildLink instantiates the full protocol stack of one link and registers
+// both endpoints with their nodes.
+func (nw *Network) buildLink(id LinkID, e Edge) {
+	cfg := nw.Config
+	s := nw.Sim
+	platform := nw.Platform
+	nodeA, nodeB := nw.Nodes[e.A], nw.Nodes[e.B]
+
+	l := &Link{
+		ID:        id,
+		Edge:      e,
+		Name:      fmt.Sprintf("%s-%s", nodeA.Name, nodeB.Name),
+		Registry:  mhp.NewPairRegistry(),
+		Collector: metrics.NewCollector(0),
+		nodeNameA: nodeA.Name,
+		nodeNameB: nodeB.Name,
+	}
+	l.DeviceA = nv.NewDevice(fmt.Sprintf("%s/%s", nodeA.Name, l.Name), platform.Gates, platform.CarbonCoupling, platform.MemoryQubits)
+	l.DeviceB = nv.NewDevice(fmt.Sprintf("%s/%s", nodeB.Name, l.Name), platform.Gates, platform.CarbonCoupling, platform.MemoryQubits)
+
+	// Per-link optical/classical fibres to the link's own heralding station.
+	loss := cfg.ClassicalLossProb
+	chanAtoH := classical.NewChannel(l.Name+":A->H", s, platform.CommDelayAH, loss, func(m classical.Message) { l.Mid.HandleGEN(m) })
+	chanBtoH := classical.NewChannel(l.Name+":B->H", s, platform.CommDelayBH, loss, func(m classical.Message) { l.Mid.HandleGEN(m) })
+	chanHtoA := classical.NewChannel(l.Name+":H->A", s, platform.CommDelayAH, loss, func(m classical.Message) { l.MHPA.HandleReply(m) })
+	chanHtoB := classical.NewChannel(l.Name+":H->B", s, platform.CommDelayBH, loss, func(m classical.Message) { l.MHPB.HandleReply(m) })
+
+	// Node-to-node DQP/EGP traffic multiplexes over the shared pair duplex,
+	// tagged with the link ID; the receiving node's registry dispatches it.
+	duplex := nw.pairDuplex(e)
+	portA := classical.TagPort{Tag: uint64(id), Under: duplex.AtoB}
+	portB := classical.TagPort{Tag: uint64(id), Under: duplex.BtoA}
+
+	newEGP := func(role string, nodeID, peerID uint32, device *nv.Device, side nv.PairSide, port classical.Port) *egp.EGP {
+		return egp.New(egp.Config{
+			NodeName:             role,
+			NodeID:               nodeID,
+			PeerID:               peerID,
+			IsMaster:             role == roleA,
+			Sim:                  s,
+			Platform:             platform,
+			Device:               device,
+			Sampler:              nw.Sampler,
+			Registry:             l.Registry,
+			Side:                 side,
+			Scheduler:            egp.NewScheduler(cfg.Scheduler),
+			ToPeer:               port,
+			OnOK:                 func(ev egp.OKEvent) { nw.handleOK(l, ev) },
+			OnError:              func(ev egp.ErrorEvent) { nw.handleError(l, ev) },
+			OnExpire:             func(egp.ExpireEvent) { l.Collector.ExpireIssued() },
+			MaxQueueLen:          cfg.MaxQueueLen,
+			EmissionMultiplexing: cfg.EmissionMultiplexing,
+			AutoRelease:          !cfg.HoldPairs,
+		})
+	}
+	idA, idB := uint32(e.A+1), uint32(e.B+1)
+	l.EGPA = newEGP(roleA, idA, idB, l.DeviceA, nv.SideA, portA)
+	l.EGPB = newEGP(roleB, idB, idA, l.DeviceB, nv.SideB, portB)
+	if cfg.StorageMargin > 0 {
+		l.EGPA.FEU().SetStorageMargin(cfg.StorageMargin)
+		l.EGPB.FEU().SetStorageMargin(cfg.StorageMargin)
+	}
+
+	l.MHPA = mhp.NewNode(mhp.NodeConfig{
+		Name: roleA, Sim: s, Generator: l.EGPA, Device: l.DeviceA,
+		Registry: l.Registry, Side: nv.SideA, ToMidpoint: chanAtoH,
+		CycleTimeK: platform.CycleTime[nv.RequestKeep],
+		CycleTimeM: platform.CycleTime[nv.RequestMeasure],
+	})
+	l.MHPB = mhp.NewNode(mhp.NodeConfig{
+		Name: roleB, Sim: s, Generator: l.EGPB, Device: l.DeviceB,
+		Registry: l.Registry, Side: nv.SideB, ToMidpoint: chanBtoH,
+		CycleTimeK: platform.CycleTime[nv.RequestKeep],
+		CycleTimeM: platform.CycleTime[nv.RequestMeasure],
+	})
+	l.Mid = mhp.NewMidpoint(mhp.MidpointConfig{
+		Sim: s, Sampler: nw.Sampler, Registry: l.Registry,
+		ToA: chanHtoA, ToB: chanHtoB, WindowCycles: 1,
+		HoldTime: 2*(platform.CommDelayAH+platform.CommDelayBH) + 200*sim.Microsecond,
+	})
+
+	nodeA.register(l, l.EGPA)
+	nodeB.register(l, l.EGPB)
+	nw.Links = append(nw.Links, l)
+}
+
+// AttachTraffic installs a Poisson traffic generator; it starts and stops
+// with the network.
+func (nw *Network) AttachTraffic(cfg TrafficConfig) *Traffic {
+	nw.traffic = NewTraffic(nw, cfg)
+	return nw.traffic
+}
+
+// Start launches the periodic MHP cycles of every link, the queue-occupancy
+// sampler and the attached traffic generator. It is idempotent.
+func (nw *Network) Start() {
+	if nw.started {
+		return
+	}
+	nw.started = true
+	for _, l := range nw.Links {
+		l.stopA = l.MHPA.Start()
+		l.stopB = l.MHPB.Start()
+	}
+	nw.stopSampling = nw.Sim.Ticker(nw.Config.QueueSamplePeriod, func() {
+		for _, l := range nw.Links {
+			l.Collector.SampleQueueLength(l.EGPA.Queue().TotalLen())
+		}
+	})
+	if nw.traffic != nil {
+		nw.traffic.Start()
+	}
+}
+
+// Stop halts MHP cycles, sampling and traffic.
+func (nw *Network) Stop() {
+	for _, l := range nw.Links {
+		if l.stopA != nil {
+			l.stopA()
+		}
+		if l.stopB != nil {
+			l.stopB()
+		}
+	}
+	if nw.stopSampling != nil {
+		nw.stopSampling()
+		nw.stopSampling = nil
+	}
+	if nw.traffic != nil {
+		nw.traffic.Stop()
+	}
+	nw.started = false
+}
+
+// Run starts the network (if needed), advances simulated time by d and
+// closes every link's measurement interval.
+func (nw *Network) Run(d sim.Duration) {
+	nw.Start()
+	_ = nw.Sim.RunFor(d)
+	for _, l := range nw.Links {
+		l.Collector.Finish(nw.Sim.Now())
+	}
+}
+
+// Submit issues a CREATE request on the given link from the endpoint playing
+// the given role ("A" = lower-index node).
+func (nw *Network) Submit(l *Link, role string, req egp.CreateRequest) (uint16, wire.EGPError) {
+	e := l.EGPFor(role)
+	id, code := e.Create(req)
+	if code == wire.ErrNone {
+		l.Submitted++
+		l.Collector.RequestSubmitted(requestKey(role, id), req.Priority, l.nodeName(role), req.NumPairs, nw.Sim.Now())
+	}
+	return id, code
+}
+
+// handleOK feeds a delivered pair into the link's collector (origin side
+// only, so pairs are not double counted across the two endpoints).
+func (nw *Network) handleOK(l *Link, ev egp.OKEvent) {
+	l.OKs++
+	if !ev.OriginIsLocal {
+		return
+	}
+	key := requestKey(ev.Node, ev.CreateID)
+	l.Collector.PairDelivered(key, ev.Priority, l.nodeName(ev.Node), ev.Fidelity, ev.At)
+	if ev.RequestDone {
+		l.Collector.RequestCompleted(key, ev.At)
+	}
+}
+
+// handleError records a failed request (origin side only; error events are
+// only emitted at the origin).
+func (nw *Network) handleError(l *Link, ev egp.ErrorEvent) {
+	l.Errs++
+	l.Collector.RequestFailed(requestKey(ev.Node, ev.CreateID), ev.Code.String(), ev.At)
+}
+
+// Describe summarises the network configuration.
+func (nw *Network) Describe() string {
+	return fmt.Sprintf("%s on %s scheduler=%s loss=%g seed=%d",
+		nw.Config.Spec, nw.Config.Scenario, nw.Config.Scheduler, nw.Config.ClassicalLossProb, nw.Config.Seed)
+}

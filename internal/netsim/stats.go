@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"repro/internal/egp"
+	"repro/internal/metrics"
+)
+
+// LinkStats summarises one link's delivered performance over a run (or the
+// aggregate over all links when Link is "aggregate").
+type LinkStats struct {
+	Link                               string
+	Requests                           uint64
+	Errors                             uint64
+	Pairs                              int
+	OKRate                             float64 // delivered pairs per simulated second
+	Fidelity                           float64 // mean delivered fidelity
+	LatencyP50, LatencyP90, LatencyP99 float64 // per-pair latency percentiles, seconds
+	QueueMean                          float64
+	QueueMax                           float64
+}
+
+// mergedValues concatenates a per-priority series getter across the three
+// priority lanes in priority order.
+func mergedValues(get func(int) *metrics.Series) *metrics.Series {
+	out := &metrics.Series{}
+	for _, p := range []int{egp.PriorityNL, egp.PriorityCK, egp.PriorityMD} {
+		for _, v := range get(p).Values() {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// totalPairs sums delivered pairs across the priority lanes.
+func totalPairs(c *metrics.Collector) int {
+	n := 0
+	for _, p := range []int{egp.PriorityNL, egp.PriorityCK, egp.PriorityMD} {
+		n += c.OKCount(p)
+	}
+	return n
+}
+
+// statsFromSeries builds one link's summary from its collector plus the
+// already-merged fidelity and per-pair latency series.
+func (l *Link) statsFromSeries(fid, lat *metrics.Series) LinkStats {
+	c := l.Collector
+	pairs := totalPairs(c)
+	rate := 0.0
+	if d := c.DurationSeconds(); d > 0 {
+		rate = float64(pairs) / d
+	}
+	return LinkStats{
+		Link:       l.Name,
+		Requests:   l.Submitted,
+		Errors:     l.Errs,
+		Pairs:      pairs,
+		OKRate:     rate,
+		Fidelity:   fid.Mean(),
+		LatencyP50: lat.Percentile(50),
+		LatencyP90: lat.Percentile(90),
+		LatencyP99: lat.Percentile(99),
+		QueueMean:  c.QueueLength().Mean(),
+		QueueMax:   c.QueueLength().Max(),
+	}
+}
+
+// Stats computes one link's summary from its collector.
+func (l *Link) Stats() LinkStats {
+	return l.statsFromSeries(mergedValues(l.Collector.Fidelity), mergedValues(l.Collector.PairLatency))
+}
+
+// Stats returns the per-link summaries in link-ID order plus the aggregate
+// row computed from the pooled raw observations (so aggregate percentiles
+// are true percentiles, not averages of per-link percentiles). Each link's
+// merged series is computed once and reused for both the per-link row and
+// the aggregate pool.
+func (nw *Network) Stats() (perLink []LinkStats, aggregate LinkStats) {
+	fid := &metrics.Series{}
+	lat := &metrics.Series{}
+	queue := &metrics.Series{}
+	pairs := 0
+	duration := 0.0
+	for _, l := range nw.Links {
+		linkFid := mergedValues(l.Collector.Fidelity)
+		linkLat := mergedValues(l.Collector.PairLatency)
+		perLink = append(perLink, l.statsFromSeries(linkFid, linkLat))
+		for _, v := range linkFid.Values() {
+			fid.Add(v)
+		}
+		for _, v := range linkLat.Values() {
+			lat.Add(v)
+		}
+		for _, v := range l.Collector.QueueLength().Values() {
+			queue.Add(v)
+		}
+		pairs += totalPairs(l.Collector)
+		aggregate.Requests += l.Submitted
+		aggregate.Errors += l.Errs
+		if d := l.Collector.DurationSeconds(); d > duration {
+			duration = d
+		}
+	}
+	aggregate.Link = "aggregate"
+	aggregate.Pairs = pairs
+	if duration > 0 {
+		aggregate.OKRate = float64(pairs) / duration
+	}
+	aggregate.Fidelity = fid.Mean()
+	aggregate.LatencyP50 = lat.Percentile(50)
+	aggregate.LatencyP90 = lat.Percentile(90)
+	aggregate.LatencyP99 = lat.Percentile(99)
+	aggregate.QueueMean = queue.Mean()
+	aggregate.QueueMax = queue.Max()
+	return perLink, aggregate
+}

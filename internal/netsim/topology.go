@@ -1,0 +1,181 @@
+// Package netsim is the network layer above the paper's single heralded
+// link: it instantiates N nodes and M links (chain, star and grid topologies
+// plus explicit edge lists) on one shared deterministic simulator, with a
+// full EGP+MHP+midpoint protocol stack per link, a per-node link registry
+// that demultiplexes classical node-to-node traffic to the right EGP by link
+// ID, and a Poisson traffic generator issuing CREATE requests across links
+// concurrently.
+//
+// The per-link state machines are deliberately independent — each link has
+// its own distributed queue, pair registry, midpoint and endpoint devices —
+// so links never synchronise with each other (in the spirit of the scalable
+// commutativity rule) and the whole network stays byte-deterministic for a
+// fixed seed: everything runs single-threaded on one event queue.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Edge is one heralded link between two node indices.
+type Edge struct {
+	A, B int
+}
+
+// normalized returns the edge with the smaller index first; the smaller-index
+// endpoint plays the "A" role of the paper's protocol (queue master).
+func (e Edge) normalized() Edge {
+	if e.A > e.B {
+		return Edge{A: e.B, B: e.A}
+	}
+	return e
+}
+
+// Spec describes a topology: a node count and the links between them.
+type Spec struct {
+	Name  string
+	Nodes int
+	Edges []Edge
+}
+
+// Chain returns a linear chain of n nodes: n0-n1-...-n(n-1).
+func Chain(n int) Spec {
+	s := Spec{Name: fmt.Sprintf("chain-%d", n), Nodes: n}
+	for i := 0; i+1 < n; i++ {
+		s.Edges = append(s.Edges, Edge{A: i, B: i + 1})
+	}
+	return s
+}
+
+// Star returns a star of n nodes with node 0 at the centre.
+func Star(n int) Spec {
+	s := Spec{Name: fmt.Sprintf("star-%d", n), Nodes: n}
+	for i := 1; i < n; i++ {
+		s.Edges = append(s.Edges, Edge{A: 0, B: i})
+	}
+	return s
+}
+
+// Grid returns a rows×cols grid; node (r,c) has index r*cols+c and links to
+// its right and down neighbours.
+func Grid(rows, cols int) Spec {
+	s := Spec{Name: fmt.Sprintf("grid-%dx%d", rows, cols), Nodes: rows * cols}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			idx := r*cols + c
+			if c+1 < cols {
+				s.Edges = append(s.Edges, Edge{A: idx, B: idx + 1})
+			}
+			if r+1 < rows {
+				s.Edges = append(s.Edges, Edge{A: idx, B: idx + cols})
+			}
+		}
+	}
+	return s
+}
+
+// FromEdges returns a spec over an explicit edge list; the node count is
+// inferred from the largest index referenced.
+func FromEdges(edges []Edge) Spec {
+	n := 0
+	for _, e := range edges {
+		if e.A+1 > n {
+			n = e.A + 1
+		}
+		if e.B+1 > n {
+			n = e.B + 1
+		}
+	}
+	return Spec{Name: fmt.Sprintf("edges-%d", len(edges)), Nodes: n, Edges: edges}
+}
+
+// ParseEdgeList parses a comma-separated list of "a-b" pairs, e.g.
+// "0-1,1-2,2-0".
+func ParseEdgeList(s string) ([]Edge, error) {
+	var edges []Edge
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		parts := strings.SplitN(term, "-", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("netsim: edge %q is not of the form a-b", term)
+		}
+		a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("netsim: edge %q: %v", term, err)
+		}
+		b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("netsim: edge %q: %v", term, err)
+		}
+		edges = append(edges, Edge{A: a, B: b})
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("netsim: empty edge list")
+	}
+	return edges, nil
+}
+
+// Validate checks the spec: at least two nodes, indices in range, no self
+// loops and no duplicate links (parallel links between the same pair are
+// allowed only through distinct explicit edges, which Validate rejects to
+// keep link naming unambiguous).
+func (s Spec) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("netsim: need at least 2 nodes, have %d", s.Nodes)
+	}
+	if len(s.Edges) == 0 {
+		return fmt.Errorf("netsim: topology has no links")
+	}
+	seen := make(map[Edge]bool, len(s.Edges))
+	for _, e := range s.Edges {
+		if e.A == e.B {
+			return fmt.Errorf("netsim: self-loop on node %d", e.A)
+		}
+		if e.A < 0 || e.A >= s.Nodes || e.B < 0 || e.B >= s.Nodes {
+			return fmt.Errorf("netsim: edge %d-%d out of range for %d nodes", e.A, e.B, s.Nodes)
+		}
+		n := e.normalized()
+		if seen[n] {
+			return fmt.Errorf("netsim: duplicate link %d-%d", n.A, n.B)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// Degrees returns the per-node link counts.
+func (s Spec) Degrees() []int {
+	deg := make([]int, s.Nodes)
+	for _, e := range s.Edges {
+		deg[e.A]++
+		deg[e.B]++
+	}
+	return deg
+}
+
+// String renders the spec compactly, e.g. "chain-8 (8 nodes, 7 links)".
+func (s Spec) String() string {
+	return fmt.Sprintf("%s (%d nodes, %d links)", s.Name, s.Nodes, len(s.Edges))
+}
+
+// sortedEdges returns the edges normalized and ordered (A, then B), giving
+// every link a stable ID no matter how the spec was assembled.
+func (s Spec) sortedEdges() []Edge {
+	out := make([]Edge, len(s.Edges))
+	for i, e := range s.Edges {
+		out[i] = e.normalized()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

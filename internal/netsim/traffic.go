@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"repro/internal/egp"
+	"repro/internal/nv"
+	"repro/internal/sim"
+)
+
+// TrafficConfig describes the Poisson request stream offered to every link.
+type TrafficConfig struct {
+	// Load is the offered load fraction f of the paper's arrival model: the
+	// request rate is scaled so the offered pair rate is Load times the
+	// link's expected pair generation rate.
+	Load float64
+	// MaxPairs is k_max: each request asks for a uniform random number of
+	// pairs in [1, MaxPairs].
+	MaxPairs int
+	// MinFidelity is the requested minimum fidelity (default 0.64, the
+	// paper's long-run target).
+	MinFidelity float64
+	// Keep selects create-and-keep requests (priority CK) instead of
+	// measure-directly (priority MD).
+	Keep bool
+	// MaxTime is the per-request timeout (0 = none).
+	MaxTime sim.Duration
+}
+
+// Traffic issues CREATE requests across every link of a network as
+// independent Poisson processes on the shared simulator: each link draws
+// exponential interarrival times from the network RNG, so arrivals across
+// links interleave in simulated-time order and stay deterministic for a
+// fixed seed.
+type Traffic struct {
+	net *Network
+	cfg TrafficConfig
+
+	// rates[i] is link i's request arrival rate in requests per simulated
+	// second (0 when the requested fidelity is infeasible on the hardware).
+	rates []float64
+
+	submitted uint64
+	running   bool
+	// generation invalidates arrival chains scheduled before the last Stop:
+	// a restarted generator bumps it, so stale events still sitting in the
+	// simulator queue see a mismatched generation and die instead of
+	// rescheduling alongside the fresh chains (which would double the load).
+	generation uint64
+}
+
+// NewTraffic builds a traffic generator for the network. The per-link
+// request rate is derived exactly as in the paper's arrival model:
+// rate = Load * psucc / (E * cycleTime * meanPairs), with psucc and E taken
+// from the link's own FEU and platform constants.
+func NewTraffic(nw *Network, cfg TrafficConfig) *Traffic {
+	if cfg.MaxPairs <= 0 {
+		cfg.MaxPairs = 1
+	}
+	if cfg.MinFidelity <= 0 {
+		cfg.MinFidelity = 0.64
+	}
+	t := &Traffic{net: nw, cfg: cfg}
+	rt := nv.RequestMeasure
+	if cfg.Keep {
+		rt = nv.RequestKeep
+	}
+	meanPairs := (1 + float64(cfg.MaxPairs)) / 2
+	for _, l := range nw.Links {
+		feu := l.EGPA.FEU()
+		rate := 0.0
+		if alpha, ok := feu.AlphaForFidelity(cfg.MinFidelity); ok && cfg.Load > 0 {
+			psucc := feu.SuccessProbability(alpha)
+			e := nw.Platform.ExpectedCyclesPerAttempt[rt]
+			if e < 1 {
+				e = 1
+			}
+			cycleSec := nw.Platform.CycleTime[nv.RequestMeasure].Seconds()
+			rate = cfg.Load * psucc / (e * cycleSec * meanPairs)
+		}
+		t.rates = append(t.rates, rate)
+	}
+	return t
+}
+
+// Submitted returns how many requests the generator has issued.
+func (t *Traffic) Submitted() uint64 { return t.submitted }
+
+// Rate returns link i's request arrival rate in requests per second.
+func (t *Traffic) Rate(i int) float64 { return t.rates[i] }
+
+// Start schedules the first arrival on every link. It is idempotent while
+// running.
+func (t *Traffic) Start() {
+	if t.running {
+		return
+	}
+	t.running = true
+	t.generation++
+	for i, l := range t.net.Links {
+		if t.rates[i] > 0 {
+			t.scheduleNext(l, t.rates[i], t.generation)
+		}
+	}
+}
+
+// Stop halts future arrivals (already-scheduled ones die on the generation
+// check, so a later Start cannot end up with doubled arrival chains).
+func (t *Traffic) Stop() { t.running = false }
+
+// scheduleNext draws the next exponential interarrival time for a link and
+// schedules the submission.
+func (t *Traffic) scheduleNext(l *Link, rate float64, generation uint64) {
+	delay := sim.DurationSeconds(t.net.Sim.RNG().Exponential(rate))
+	t.net.Sim.Schedule(delay, func() {
+		if !t.running || generation != t.generation {
+			return
+		}
+		t.fire(l)
+		t.scheduleNext(l, rate, generation)
+	})
+}
+
+// fire submits one CREATE request on the link from a uniformly random
+// endpoint.
+func (t *Traffic) fire(l *Link) {
+	rng := t.net.Sim.RNG()
+	k := 1
+	if t.cfg.MaxPairs > 1 {
+		k = 1 + rng.Intn(t.cfg.MaxPairs)
+	}
+	role := roleA
+	if rng.Intn(2) == 1 {
+		role = roleB
+	}
+	priority := egp.PriorityMD
+	if t.cfg.Keep {
+		priority = egp.PriorityCK
+	}
+	t.submitted++
+	t.net.Submit(l, role, egp.CreateRequest{
+		NumPairs:    k,
+		Keep:        t.cfg.Keep,
+		MinFidelity: t.cfg.MinFidelity,
+		MaxTime:     t.cfg.MaxTime,
+		Priority:    priority,
+		PurposeID:   uint16(1000 + priority),
+		Consecutive: !t.cfg.Keep,
+	})
+}
