@@ -1,0 +1,221 @@
+// Command e2e runs the network layer end to end: it instantiates a topology
+// of heralded quantum links, routes a source–destination pair over it with a
+// selectable cost function, drives it with Poisson end-to-end entanglement
+// requests, and prints per-path and aggregate performance tables (end-to-end
+// throughput, delivered vs predicted fidelity, swap-latency and end-to-end
+// latency percentiles).
+//
+// Repetitions (-trials) fan out across a worker pool (-parallel); each trial
+// derives its seed from the base seed and its index, so the printed tables
+// are byte-identical at every parallelism level.
+//
+// Examples:
+//
+//	e2e -nodes 5                                   # 4-hop repeater chain
+//	e2e -nodes 7 -fmin 0.45 -seconds 4             # longer chain, higher floor
+//	e2e -topology grid -nodes 9 -src 0 -dst 8      # corner-to-corner grid
+//	e2e -cost fidelity -gate 0.99                  # fidelity-aware routing, noisy BSM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/nv"
+	"repro/internal/sim"
+)
+
+// trialStats holds one trial's per-path rows plus the aggregate row.
+type trialStats struct {
+	perPath []network.PathStats
+	agg     network.PathStats
+	swaps   uint64
+	path    string
+}
+
+// runTrial builds and runs one network + service with a trial-derived seed.
+func runTrial(spec netsim.Spec, scenario nv.ScenarioID, loss float64, cost string, gate float64,
+	traffic network.TrafficConfig, seed int64, trial int, seconds float64) (trialStats, error) {
+	cfg := netsim.DefaultConfig(spec, scenario)
+	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
+	cfg.ClassicalLossProb = loss
+	cfg.HoldPairs = true
+	nw, err := netsim.NewNetwork(cfg)
+	if err != nil {
+		return trialStats{}, err
+	}
+	ncfg := network.DefaultConfig()
+	ncfg.SwapGateFidelity = gate
+	costFn, ok := network.CostByName(nw, cost)
+	if !ok {
+		return trialStats{}, fmt.Errorf("unknown cost %q (hops|fidelity|rate)", cost)
+	}
+	ncfg.Cost = costFn
+	svc, err := network.NewService(nw, ncfg)
+	if err != nil {
+		return trialStats{}, err
+	}
+	p, err := svc.Router().Path(traffic.Pairs[0][0], traffic.Pairs[0][1])
+	if err != nil {
+		return trialStats{}, err
+	}
+	tr := svc.AttachTraffic(traffic)
+	tr.Start()
+	nw.Run(sim.DurationSeconds(seconds))
+	svc.FinishAt(nw.Sim.Now())
+	perPath, agg := svc.Stats()
+	return trialStats{perPath: perPath, agg: agg, swaps: svc.Swaps(), path: p.String()}, nil
+}
+
+// statsRow renders one averaged row.
+func statsRow(s network.PathStats) []string {
+	return []string{
+		s.Path,
+		fmt.Sprintf("%d", s.Hops),
+		fmt.Sprintf("%d", s.Requests),
+		fmt.Sprintf("%d", s.Completed),
+		fmt.Sprintf("%d", s.Failed),
+		fmt.Sprintf("%d", s.Pairs),
+		fmt.Sprintf("%.3f", s.OKRate),
+		fmt.Sprintf("%.4f", s.Fidelity),
+		fmt.Sprintf("%.4f", s.Predicted),
+		fmt.Sprintf("%.4f", s.SwapP50),
+		fmt.Sprintf("%.4f", s.SwapP99),
+		fmt.Sprintf("%.4f", s.E2EP50),
+		fmt.Sprintf("%.4f", s.E2EP99),
+	}
+}
+
+var statsColumns = []string{"path", "hops", "requests", "completed", "failed", "pairs", "throughput(1/s)", "fidelity", "predicted", "swap_p50(s)", "swap_p99(s)", "e2e_p50(s)", "e2e_p99(s)"}
+
+func main() {
+	var (
+		topology = flag.String("topology", "chain", "topology: chain|star|grid|edges")
+		nodes    = flag.Int("nodes", 5, "node count (grid requires a perfect square)")
+		edgeList = flag.String("edges", "", "explicit edge list for -topology edges, e.g. 0-1,1-2,2-0")
+		scenario = flag.String("scenario", "Lab", "hardware scenario: Lab or QL2020")
+		src      = flag.Int("src", 0, "source node of the end-to-end pair stream")
+		dst      = flag.Int("dst", -1, "destination node (default: last node)")
+		cost     = flag.String("cost", "hops", "routing cost function: hops|fidelity|rate")
+		load     = flag.Float64("load", 0.3, "offered end-to-end load fraction of the bottleneck link rate")
+		kmax     = flag.Int("kmax", 1, "maximum end-to-end pairs per request")
+		fmin     = flag.Float64("fmin", 0.35, "end-to-end minimum delivered fidelity")
+		deadline = flag.Float64("deadline", 0, "per-request deadline in seconds (0 = none)")
+		gate     = flag.Float64("gate", 1, "swap (Bell-state measurement) gate fidelity at repeater nodes")
+		loss     = flag.Float64("loss", 0, "classical per-frame loss probability")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		seconds  = flag.Float64("seconds", 2, "simulated seconds per trial")
+		trials   = flag.Int("trials", 3, "independent repetitions (seeds derived from -seed)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
+	)
+	flag.Parse()
+
+	spec, err := netsim.SpecFromFlags(*topology, *nodes, *edgeList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch nv.ScenarioID(*scenario) {
+	case nv.ScenarioLab, nv.ScenarioQL2020:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (Lab|QL2020)\n", *scenario)
+		os.Exit(2)
+	}
+	if *dst < 0 {
+		*dst = spec.Nodes - 1
+	}
+	if *src < 0 || *src >= spec.Nodes || *dst >= spec.Nodes || *src == *dst {
+		fmt.Fprintf(os.Stderr, "bad src/dst pair %d-%d for %d nodes\n", *src, *dst, spec.Nodes)
+		os.Exit(2)
+	}
+	if *gate <= 0 || *gate > 1 {
+		fmt.Fprintln(os.Stderr, "gate fidelity must be in (0,1]")
+		os.Exit(2)
+	}
+	if *trials <= 0 {
+		*trials = 1
+	}
+	if *parallel <= 0 {
+		*parallel = 1
+	}
+	traffic := network.TrafficConfig{
+		Pairs:       [][2]int{{*src, *dst}},
+		Load:        *load,
+		MaxPairs:    *kmax,
+		MinFidelity: *fmin,
+		MaxTime:     sim.DurationSeconds(*deadline),
+	}
+
+	results := make([]trialStats, *trials)
+	errs := make([]error, *trials)
+	experiments.RunIndexed(*trials, *parallel, func(i int) {
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *loss, *cost, *gate, traffic, *seed, i, *seconds)
+	})
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var swaps uint64
+	for _, r := range results {
+		swaps += r.swaps
+	}
+	fmt.Printf("# e2e %s on %s: path %s cost=%s load=%.2f kmax=%d Fmin=%.2f gate=%g loss=%g seed=%d %.1fs simulated, %d trial(s), %d swaps total\n",
+		spec, *scenario, results[0].path, *cost, *load, *kmax, *fmin, *gate, *loss, *seed, *seconds, *trials, swaps)
+
+	perPath := experiments.Table{
+		ID:      "e2e-paths",
+		Caption: fmt.Sprintf("Per-path end-to-end performance, averaged over %d trial(s)", *trials),
+		Columns: statsColumns,
+	}
+	// Collect the union of paths across trials in first-seen order: a trial
+	// whose Poisson stream fired no request contributes a zero row for the
+	// missing path instead of skewing the average.
+	var pathOrder []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		for _, ps := range r.perPath {
+			if !seen[ps.Path] {
+				seen[ps.Path] = true
+				pathOrder = append(pathOrder, ps.Path)
+			}
+		}
+	}
+	for _, name := range pathOrder {
+		rows := make([]network.PathStats, *trials)
+		for ti := range results {
+			rows[ti] = network.PathStats{Path: name}
+			for _, ps := range results[ti].perPath {
+				if ps.Path == name {
+					rows[ti] = ps
+					break
+				}
+			}
+		}
+		perPath.Rows = append(perPath.Rows, statsRow(network.MeanPathStats(rows)))
+	}
+	fmt.Println(perPath.String())
+
+	aggRows := make([]network.PathStats, *trials)
+	for ti := range results {
+		aggRows[ti] = results[ti].agg
+	}
+	aggregate := experiments.Table{
+		ID:      "e2e-aggregate",
+		Caption: fmt.Sprintf("Network aggregate, averaged over %d trial(s)", *trials),
+		Columns: statsColumns,
+		Rows:    [][]string{statsRow(network.MeanPathStats(aggRows))},
+	}
+	fmt.Println(aggregate.String())
+}

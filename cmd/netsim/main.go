@@ -19,7 +19,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"runtime"
 
@@ -28,30 +27,6 @@ import (
 	"repro/internal/nv"
 	"repro/internal/sim"
 )
-
-// buildSpec resolves the topology flags into a netsim.Spec.
-func buildSpec(topology string, nodes int, edgeList string) (netsim.Spec, error) {
-	switch topology {
-	case "chain":
-		return netsim.Chain(nodes), nil
-	case "star":
-		return netsim.Star(nodes), nil
-	case "grid":
-		side := int(math.Sqrt(float64(nodes)))
-		if side*side != nodes {
-			return netsim.Spec{}, fmt.Errorf("grid topology needs a square node count, got %d", nodes)
-		}
-		return netsim.Grid(side, side), nil
-	case "edges":
-		edges, err := netsim.ParseEdgeList(edgeList)
-		if err != nil {
-			return netsim.Spec{}, err
-		}
-		return netsim.FromEdges(edges), nil
-	default:
-		return netsim.Spec{}, fmt.Errorf("unknown topology %q (chain|star|grid|edges)", topology)
-	}
-}
 
 // trialStats holds one trial's per-link rows plus the aggregate row.
 type trialStats struct {
@@ -74,52 +49,6 @@ func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, loss f
 	nw.Run(sim.DurationSeconds(seconds))
 	perLink, agg := nw.Stats()
 	return trialStats{perLink: perLink, agg: agg}, nil
-}
-
-// meanStats averages the same link's stats across trials, field by field, in
-// trial order (so the result is independent of execution interleaving).
-// Fidelity is weighted by delivered pairs and latency percentiles average
-// only over trials that delivered, so empty trials do not drag quality
-// metrics towards zero.
-func meanStats(rows []netsim.LinkStats) netsim.LinkStats {
-	var out netsim.LinkStats
-	if len(rows) == 0 {
-		return out
-	}
-	out.Link = rows[0].Link
-	n := float64(len(rows))
-	var requests, errs, pairs, fidW, latTrials float64
-	for _, r := range rows {
-		requests += float64(r.Requests)
-		errs += float64(r.Errors)
-		pairs += float64(r.Pairs)
-		out.OKRate += r.OKRate / n
-		out.QueueMean += r.QueueMean / n
-		if r.QueueMax > out.QueueMax {
-			out.QueueMax = r.QueueMax
-		}
-		if r.Pairs > 0 {
-			w := float64(r.Pairs)
-			out.Fidelity += r.Fidelity * w
-			fidW += w
-			out.LatencyP50 += r.LatencyP50
-			out.LatencyP90 += r.LatencyP90
-			out.LatencyP99 += r.LatencyP99
-			latTrials++
-		}
-	}
-	if fidW > 0 {
-		out.Fidelity /= fidW
-	}
-	if latTrials > 0 {
-		out.LatencyP50 /= latTrials
-		out.LatencyP90 /= latTrials
-		out.LatencyP99 /= latTrials
-	}
-	out.Requests = uint64(math.Round(requests / n))
-	out.Errors = uint64(math.Round(errs / n))
-	out.Pairs = int(math.Round(pairs / n))
-	return out
 }
 
 // statsRow renders one averaged row.
@@ -160,7 +89,7 @@ func main() {
 	)
 	flag.Parse()
 
-	spec, err := buildSpec(*topology, *nodes, *edgeList)
+	spec, err := netsim.SpecFromFlags(*topology, *nodes, *edgeList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -225,7 +154,7 @@ func main() {
 		for ti := range results {
 			rows[ti] = results[ti].perLink[li]
 		}
-		perLink.Rows = append(perLink.Rows, statsRow(meanStats(rows)))
+		perLink.Rows = append(perLink.Rows, statsRow(netsim.MeanStats(rows)))
 	}
 	fmt.Println(perLink.String())
 
@@ -237,7 +166,7 @@ func main() {
 		ID:      "netsim-aggregate",
 		Caption: fmt.Sprintf("Network aggregate, averaged over %d trial(s)", *trials),
 		Columns: statsColumns,
-		Rows:    [][]string{statsRow(meanStats(aggRows))},
+		Rows:    [][]string{statsRow(netsim.MeanStats(aggRows))},
 	}
 	fmt.Println(aggregate.String())
 }

@@ -51,10 +51,15 @@ type OKEvent struct {
 	// than |Ψ+⟩) for this pair; consumers of measure-directly outcomes use
 	// it to apply the classical correction when comparing correlations.
 	HeraldedPsiMinus bool
-	PairsRemaining   int
-	RequestDone      bool
-	CreateTime       sim.Time
-	At               sim.Time
+	// Pair is the delivered entangled pair, set for create-and-keep requests
+	// when AutoRelease is off: the higher layer (e.g. the network layer's
+	// swap engine) owns the stored qubit until it releases it from the
+	// device. Nil for measure-directly pairs and auto-released ones.
+	Pair           *nv.EntangledPair
+	PairsRemaining int
+	RequestDone    bool
+	CreateTime     sim.Time
+	At             sim.Time
 }
 
 // ErrorEvent reports request failures to the higher layer.
@@ -628,12 +633,16 @@ func (e *EGP) handleKeepSuccess(item *QueueItem, pair *nv.EntangledPair, r mhp.R
 	fidelity := pair.Fidelity()
 	goodness := e.feu.Goodness(r.Alpha)
 
-	e.completePair(item, r, OKEvent{
+	ev := OKEvent{
 		Keep:         true,
 		LogicalQubit: logical,
 		Fidelity:     fidelity,
 		Goodness:     goodness,
-	})
+	}
+	if !e.cfg.AutoRelease {
+		ev.Pair = pair
+	}
+	e.completePair(item, r, ev)
 
 	if e.cfg.AutoRelease {
 		device.Release(pair)

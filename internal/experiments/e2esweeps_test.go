@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// TestE2EChainShape checks the repeater-chain runner produces one row per
+// (scenario, length) and that the short chain delivers pairs whose fidelity
+// tracks the closed-form prediction column.
+func TestE2EChainShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level experiment in short mode")
+	}
+	opt := QuickOptions()
+	opt.SimulatedSeconds = 2
+	tables := RunE2EChain(opt)
+	if len(tables) != 1 {
+		t.Fatalf("expected 1 table, got %d", len(tables))
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 2 { // quick: Lab only, lengths {3, 5}
+		t.Fatalf("expected 2 rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("row width %d != %d columns", len(row), len(tbl.Columns))
+		}
+	}
+	// The 3-node chain at quick scale must deliver end-to-end pairs with a
+	// sane fidelity (the prediction column is populated alongside).
+	row := tbl.Rows[0]
+	pairs, err := strconv.Atoi(row[6])
+	if err != nil || pairs <= 0 {
+		t.Fatalf("3-node chain delivered no end-to-end pairs: %v", row)
+	}
+	fid, err := strconv.ParseFloat(row[8], 64)
+	if err != nil || fid <= 0.25 || fid > 1 {
+		t.Errorf("implausible delivered fidelity %q: %v", row[8], row)
+	}
+	pred, err := strconv.ParseFloat(row[9], 64)
+	if err != nil || pred <= 0.25 || pred > 1 {
+		t.Errorf("implausible predicted fidelity %q: %v", row[9], row)
+	}
+}
+
+// TestE2ELoadShape checks the load × fidelity-floor runner's row layout.
+func TestE2ELoadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level experiment in short mode")
+	}
+	opt := QuickOptions()
+	opt.SimulatedSeconds = 1
+	tables := RunE2ELoad(opt)
+	if len(tables) != 1 {
+		t.Fatalf("expected 1 table, got %d", len(tables))
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 2 { // quick: Lab only, 1 load x 2 fmins
+		t.Fatalf("expected 2 rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("row width %d != %d columns", len(row), len(tbl.Columns))
+		}
+	}
+}
+
+// TestE2EChainParallelismInvariance is the acceptance check that the
+// multi-hop sweep's output tables are byte-identical at every parallelism
+// level: the ≥4-hop chain sweep must not depend on worker interleaving.
+func TestE2EChainParallelismInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level experiment in short mode")
+	}
+	opt := QuickOptions()
+	opt.SimulatedSeconds = 1
+	opt.Parallelism = 1
+	seq := RunE2EChain(opt)
+	opt.Parallelism = 8
+	par := RunE2EChain(opt)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("e2echain tables differ between -parallel 1 and 8:\n%s\n---\n%s", seq[0], par[0])
+	}
+}

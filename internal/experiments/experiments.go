@@ -129,6 +129,8 @@ func All() []Runner {
 		{Name: "table4", Description: "Mixed-load scaled and request latencies (App. Table 4)", Run: RunTable4Mixed},
 		{Name: "netchain", Description: "Multi-link chain-length scaling on the netsim network layer", Run: RunNetChain},
 		{Name: "netload", Description: "Per-link load contention on a star topology (netsim network layer)", Run: RunNetLoad},
+		{Name: "e2echain", Description: "End-to-end repeater-chain length scaling with entanglement swapping", Run: RunE2EChain},
+		{Name: "e2eload", Description: "End-to-end load x fidelity-floor sweep on a 4-hop chain", Run: RunE2ELoad},
 	}
 }
 

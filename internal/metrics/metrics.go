@@ -116,6 +116,16 @@ func (s *Series) Percentile(p float64) float64 {
 // Values returns a copy of the raw observations.
 func (s *Series) Values() []float64 { return append([]float64(nil), s.values...) }
 
+// SafeRate divides a count by a duration in seconds, returning 0 for empty,
+// zero or non-finite intervals instead of NaN/Inf. Shared by the per-link
+// and per-path throughput summaries.
+func SafeRate(count, seconds float64) float64 {
+	if seconds <= 0 || math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return 0
+	}
+	return count / seconds
+}
+
 // RelativeDifference implements footnote 2 of the paper:
 // |m1 − m2| / max(|m1|, |m2|), with 0 when both are zero.
 func RelativeDifference(m1, m2 float64) float64 {

@@ -255,3 +255,23 @@ func TestPropertyQBERFidelityBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSafeRate pins the shared division guard against empty, zero and
+// non-finite denominators.
+func TestSafeRate(t *testing.T) {
+	cases := []struct {
+		count, seconds, want float64
+	}{
+		{10, 2, 5},
+		{10, 0, 0},
+		{10, -1, 0},
+		{0, 0, 0},
+		{10, math.NaN(), 0},
+		{10, math.Inf(1), 0},
+	}
+	for _, tc := range cases {
+		if got := SafeRate(tc.count, tc.seconds); got != tc.want {
+			t.Errorf("SafeRate(%g, %g) = %g, want %g", tc.count, tc.seconds, got, tc.want)
+		}
+	}
+}

@@ -32,6 +32,10 @@ type Config struct {
 	Spec Spec
 	// Scenario is the hardware model every link runs on.
 	Scenario nv.ScenarioID
+	// Platform, when non-nil, overrides the scenario's platform parameters —
+	// used by validation runs that need modified hardware (e.g. idealised
+	// memories for closed-form fidelity checks).
+	Platform *nv.Platform
 	// Seed drives every random choice of the run.
 	Seed int64
 	// Scheduler names the per-link EGP scheduling strategy.
@@ -99,6 +103,31 @@ func (l *Link) EGPFor(role string) *egp.EGP {
 	return l.EGPA
 }
 
+// DeviceFor returns the endpoint device playing the given role.
+func (l *Link) DeviceFor(role string) *nv.Device {
+	if role == roleB {
+		return l.DeviceB
+	}
+	return l.DeviceA
+}
+
+// NodeIndex maps a per-link role to the global node index: role A is the
+// smaller-index endpoint.
+func (l *Link) NodeIndex(role string) int {
+	if role == roleB {
+		return l.Edge.B
+	}
+	return l.Edge.A
+}
+
+// OtherRole returns the opposite per-link role.
+func OtherRole(role string) string {
+	if role == roleB {
+		return roleA
+	}
+	return roleB
+}
+
 // nodeName maps a per-link role to the global node name.
 func (l *Link) nodeName(role string) string {
 	if role == roleB {
@@ -152,14 +181,28 @@ type Network struct {
 	Nodes []*Node
 	Links []*Link
 
+	// OnLinkOK, when set, observes every link-layer OK event (both
+	// endpoints, in delivery order) before the per-link metrics accounting.
+	// The network layer uses it to consume held create-and-keep pairs.
+	OnLinkOK func(*Link, egp.OKEvent)
+	// OnLinkError, when set, observes every link-layer request failure.
+	OnLinkError func(*Link, egp.ErrorEvent)
+
 	// pairChannels holds the shared node-to-node duplexes carrying tagged
 	// DQP/EGP traffic, keyed by the normalized node pair.
 	pairChannels map[Edge]*classical.Duplex
+	// linksByEdge indexes the links by their normalized endpoints.
+	linksByEdge map[Edge]*Link
 
 	traffic      *Traffic
 	stopSampling func()
 	started      bool
 }
+
+// NetworkLayerTag is the mux tag reserved for network-layer frames riding the
+// shared node-to-node channels alongside the per-link DQP/EGP traffic. Link
+// IDs are small integers, so the maximum tag value can never collide.
+const NetworkLayerTag = ^uint64(0)
 
 // NewNetwork builds and wires a multi-link network for the given
 // configuration.
@@ -174,7 +217,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cfg.QueueSamplePeriod = 50 * sim.Millisecond
 	}
 
-	platform := nv.NewPlatform(cfg.Scenario)
+	platform := cfg.Platform
+	if platform == nil {
+		platform = nv.NewPlatform(cfg.Scenario)
+	}
 	s := sim.New(cfg.Seed)
 	nw := &Network{
 		Config:       cfg,
@@ -182,6 +228,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		Platform:     platform,
 		Sampler:      photonics.NewLinkSampler(platform.Optics),
 		pairChannels: make(map[Edge]*classical.Duplex),
+		linksByEdge:  make(map[Edge]*Link),
 	}
 
 	for i := 0; i < cfg.Spec.Nodes; i++ {
@@ -298,6 +345,36 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 	nodeA.register(l, l.EGPA)
 	nodeB.register(l, l.EGPB)
 	nw.Links = append(nw.Links, l)
+	nw.linksByEdge[e] = l
+}
+
+// LinkBetween returns the link connecting two adjacent nodes, or nil when no
+// link exists between them.
+func (nw *Network) LinkBetween(a, b int) *Link {
+	return nw.linksByEdge[Edge{A: a, B: b}.normalized()]
+}
+
+// RegisterNetworkHandler points a node's reserved network-layer mux tag at h:
+// frames sent through NetworkPort from any neighbour are delivered to it
+// after the channel's propagation delay (and loss).
+func (nw *Network) RegisterNetworkHandler(node int, h func(classical.Message)) {
+	nw.Nodes[node].Mux.Handle(NetworkLayerTag, h)
+}
+
+// NetworkPort returns the network-layer send port from one node to an
+// adjacent node, multiplexed over the shared pair channel under the reserved
+// tag. The second return value is false when the nodes are not adjacent.
+func (nw *Network) NetworkPort(from, to int) (classical.Port, bool) {
+	l := nw.LinkBetween(from, to)
+	if l == nil {
+		return nil, false
+	}
+	d := nw.pairDuplex(l.Edge)
+	ch := d.AtoB
+	if from == l.Edge.B {
+		ch = d.BtoA
+	}
+	return classical.TagPort{Tag: NetworkLayerTag, Under: ch}, true
 }
 
 // AttachTraffic installs a Poisson traffic generator; it starts and stops
@@ -374,6 +451,9 @@ func (nw *Network) Submit(l *Link, role string, req egp.CreateRequest) (uint16, 
 // only, so pairs are not double counted across the two endpoints).
 func (nw *Network) handleOK(l *Link, ev egp.OKEvent) {
 	l.OKs++
+	if nw.OnLinkOK != nil {
+		nw.OnLinkOK(l, ev)
+	}
 	if !ev.OriginIsLocal {
 		return
 	}
@@ -388,6 +468,9 @@ func (nw *Network) handleOK(l *Link, ev egp.OKEvent) {
 // only emitted at the origin).
 func (nw *Network) handleError(l *Link, ev egp.ErrorEvent) {
 	l.Errs++
+	if nw.OnLinkError != nil {
+		nw.OnLinkError(l, ev)
+	}
 	l.Collector.RequestFailed(requestKey(ev.Node, ev.CreateID), ev.Code.String(), ev.At)
 }
 

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math"
+
 	"repro/internal/egp"
 	"repro/internal/metrics"
 )
@@ -45,16 +47,12 @@ func totalPairs(c *metrics.Collector) int {
 func (l *Link) statsFromSeries(fid, lat *metrics.Series) LinkStats {
 	c := l.Collector
 	pairs := totalPairs(c)
-	rate := 0.0
-	if d := c.DurationSeconds(); d > 0 {
-		rate = float64(pairs) / d
-	}
 	return LinkStats{
 		Link:       l.Name,
 		Requests:   l.Submitted,
 		Errors:     l.Errs,
 		Pairs:      pairs,
-		OKRate:     rate,
+		OKRate:     metrics.SafeRate(float64(pairs), c.DurationSeconds()),
 		Fidelity:   fid.Mean(),
 		LatencyP50: lat.Percentile(50),
 		LatencyP90: lat.Percentile(90),
@@ -102,9 +100,7 @@ func (nw *Network) Stats() (perLink []LinkStats, aggregate LinkStats) {
 	}
 	aggregate.Link = "aggregate"
 	aggregate.Pairs = pairs
-	if duration > 0 {
-		aggregate.OKRate = float64(pairs) / duration
-	}
+	aggregate.OKRate = metrics.SafeRate(float64(pairs), duration)
 	aggregate.Fidelity = fid.Mean()
 	aggregate.LatencyP50 = lat.Percentile(50)
 	aggregate.LatencyP90 = lat.Percentile(90)
@@ -112,4 +108,52 @@ func (nw *Network) Stats() (perLink []LinkStats, aggregate LinkStats) {
 	aggregate.QueueMean = queue.Mean()
 	aggregate.QueueMax = queue.Max()
 	return perLink, aggregate
+}
+
+// MeanStats averages the same link's stats across trials, field by field, in
+// trial order (so the result is independent of execution interleaving).
+// Fidelity is weighted by delivered pairs and latency percentiles average
+// only over trials that delivered, so empty trials do not drag quality
+// metrics towards zero. It is total on degenerate input: an empty slice
+// yields the zero value, a single trial yields that trial's stats, and
+// all-empty trials yield zero quality metrics — never NaN.
+func MeanStats(rows []LinkStats) LinkStats {
+	var out LinkStats
+	if len(rows) == 0 {
+		return out
+	}
+	out.Link = rows[0].Link
+	n := float64(len(rows))
+	var requests, errs, pairs, fidW, latTrials float64
+	for _, r := range rows {
+		requests += float64(r.Requests)
+		errs += float64(r.Errors)
+		pairs += float64(r.Pairs)
+		out.OKRate += r.OKRate / n
+		out.QueueMean += r.QueueMean / n
+		if r.QueueMax > out.QueueMax {
+			out.QueueMax = r.QueueMax
+		}
+		if r.Pairs > 0 {
+			w := float64(r.Pairs)
+			out.Fidelity += r.Fidelity * w
+			fidW += w
+			out.LatencyP50 += r.LatencyP50
+			out.LatencyP90 += r.LatencyP90
+			out.LatencyP99 += r.LatencyP99
+			latTrials++
+		}
+	}
+	if fidW > 0 {
+		out.Fidelity /= fidW
+	}
+	if latTrials > 0 {
+		out.LatencyP50 /= latTrials
+		out.LatencyP90 /= latTrials
+		out.LatencyP99 /= latTrials
+	}
+	out.Requests = uint64(math.Round(requests / n))
+	out.Errors = uint64(math.Round(errs / n))
+	out.Pairs = int(math.Round(pairs / n))
+	return out
 }

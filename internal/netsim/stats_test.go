@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nv"
+)
+
+// checkFinite fails the test when any numeric field of a LinkStats is NaN or
+// infinite.
+func checkFinite(t *testing.T, label string, s LinkStats) {
+	t.Helper()
+	fields := map[string]float64{
+		"OKRate": s.OKRate, "Fidelity": s.Fidelity,
+		"LatencyP50": s.LatencyP50, "LatencyP90": s.LatencyP90, "LatencyP99": s.LatencyP99,
+		"QueueMean": s.QueueMean, "QueueMax": s.QueueMax,
+	}
+	for name, v := range fields {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s: %s = %v, want finite", label, name, v)
+		}
+	}
+}
+
+// TestStatsDegenerateInputs drives the per-link and aggregate summaries over
+// degenerate networks — never started (zero duration), run with zero load (no
+// pairs, no queue samples) — and asserts every statistic stays finite.
+func TestStatsDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(*Network)
+	}{
+		{"never-run", func(nw *Network) {}},
+		{"zero-duration", func(nw *Network) { nw.Run(0) }},
+		{"no-traffic", func(nw *Network) { nw.Run(10_000_000) }}, // 10 ms, no requests
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := NewNetwork(DefaultConfig(Chain(3), nv.ScenarioLab))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.run(nw)
+			perLink, agg := nw.Stats()
+			if len(perLink) != 2 {
+				t.Fatalf("expected 2 links, got %d", len(perLink))
+			}
+			for _, ls := range perLink {
+				checkFinite(t, tc.name+"/"+ls.Link, ls)
+				if ls.Pairs != 0 || ls.OKRate != 0 {
+					t.Errorf("%s: degenerate run delivered pairs: %+v", tc.name, ls)
+				}
+			}
+			checkFinite(t, tc.name+"/aggregate", agg)
+		})
+	}
+}
+
+// TestMeanStatsTableDriven covers the cross-trial averaging helper on empty,
+// single-sample, all-empty and mixed inputs: no NaN, no panic, and the
+// pair-weighted fidelity / delivered-only latency semantics.
+func TestMeanStatsTableDriven(t *testing.T) {
+	delivered := LinkStats{Link: "n0-n1", Requests: 4, Pairs: 10, OKRate: 5, Fidelity: 0.9, LatencyP50: 0.1, LatencyP90: 0.2, LatencyP99: 0.3, QueueMean: 1, QueueMax: 2}
+	empty := LinkStats{Link: "n0-n1", Requests: 2}
+	cases := []struct {
+		name string
+		rows []LinkStats
+		want LinkStats
+	}{
+		{name: "empty-slice", rows: nil, want: LinkStats{}},
+		{name: "single-sample", rows: []LinkStats{delivered}, want: delivered},
+		{
+			name: "single-empty-trial",
+			rows: []LinkStats{empty},
+			want: LinkStats{Link: "n0-n1", Requests: 2},
+		},
+		{
+			name: "all-empty-trials",
+			rows: []LinkStats{empty, empty, empty},
+			want: LinkStats{Link: "n0-n1", Requests: 2},
+		},
+		{
+			// The empty trial halves counts and rates but must not drag
+			// fidelity or latency towards zero.
+			name: "mixed-trials",
+			rows: []LinkStats{delivered, empty},
+			want: LinkStats{Link: "n0-n1", Requests: 3, Pairs: 5, OKRate: 2.5, Fidelity: 0.9, LatencyP50: 0.1, LatencyP90: 0.2, LatencyP99: 0.3, QueueMean: 0.5, QueueMax: 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MeanStats(tc.rows)
+			checkFinite(t, tc.name, got)
+			approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+			if got.Link != tc.want.Link || got.Requests != tc.want.Requests || got.Pairs != tc.want.Pairs ||
+				!approx(got.OKRate, tc.want.OKRate) || !approx(got.Fidelity, tc.want.Fidelity) ||
+				!approx(got.LatencyP50, tc.want.LatencyP50) || !approx(got.LatencyP90, tc.want.LatencyP90) ||
+				!approx(got.LatencyP99, tc.want.LatencyP99) ||
+				!approx(got.QueueMean, tc.want.QueueMean) || !approx(got.QueueMax, tc.want.QueueMax) {
+				t.Errorf("MeanStats = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}

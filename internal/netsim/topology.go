@@ -15,6 +15,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -90,6 +91,32 @@ func FromEdges(edges []Edge) Spec {
 		}
 	}
 	return Spec{Name: fmt.Sprintf("edges-%d", len(edges)), Nodes: n, Edges: edges}
+}
+
+// SpecFromFlags resolves the topology CLI flags shared by cmd/netsim and
+// cmd/e2e into a Spec: a named generator (chain/star/grid, with grid
+// requiring a square node count) or an explicit edge list.
+func SpecFromFlags(topology string, nodes int, edgeList string) (Spec, error) {
+	switch topology {
+	case "chain":
+		return Chain(nodes), nil
+	case "star":
+		return Star(nodes), nil
+	case "grid":
+		side := int(math.Sqrt(float64(nodes)))
+		if side*side != nodes {
+			return Spec{}, fmt.Errorf("grid topology needs a square node count, got %d", nodes)
+		}
+		return Grid(side, side), nil
+	case "edges":
+		edges, err := ParseEdgeList(edgeList)
+		if err != nil {
+			return Spec{}, err
+		}
+		return FromEdges(edges), nil
+	default:
+		return Spec{}, fmt.Errorf("unknown topology %q (chain|star|grid|edges)", topology)
+	}
 }
 
 // ParseEdgeList parses a comma-separated list of "a-b" pairs, e.g.

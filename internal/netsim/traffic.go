@@ -2,8 +2,8 @@ package netsim
 
 import (
 	"repro/internal/egp"
-	"repro/internal/nv"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // TrafficConfig describes the Poisson request stream offered to every link.
@@ -26,31 +26,23 @@ type TrafficConfig struct {
 }
 
 // Traffic issues CREATE requests across every link of a network as
-// independent Poisson processes on the shared simulator: each link draws
-// exponential interarrival times from the network RNG, so arrivals across
-// links interleave in simulated-time order and stay deterministic for a
-// fixed seed.
+// independent Poisson processes on the shared simulator: each link runs one
+// workload.PoissonStream (the shared arrival implementation), so arrivals
+// across links interleave in simulated-time order and stay deterministic for
+// a fixed seed.
 type Traffic struct {
 	net *Network
 	cfg TrafficConfig
 
-	// rates[i] is link i's request arrival rate in requests per simulated
-	// second (0 when the requested fidelity is infeasible on the hardware).
-	rates []float64
-
-	submitted uint64
-	running   bool
-	// generation invalidates arrival chains scheduled before the last Stop:
-	// a restarted generator bumps it, so stale events still sitting in the
-	// simulator queue see a mismatched generation and die instead of
-	// rescheduling alongside the fresh chains (which would double the load).
-	generation uint64
+	// streams[i] is link i's arrival process; its rate is 0 when the
+	// requested fidelity is infeasible on the hardware.
+	streams []*workload.PoissonStream
 }
 
 // NewTraffic builds a traffic generator for the network. The per-link
-// request rate is derived exactly as in the paper's arrival model:
-// rate = Load * psucc / (E * cycleTime * meanPairs), with psucc and E taken
-// from the link's own FEU and platform constants.
+// request rate is derived exactly as in the paper's arrival model (see
+// workload.RatePerSecond): rate = Load·psucc/(E·cycleTime·k̄), with psucc and
+// E taken from the link's own FEU and platform constants.
 func NewTraffic(nw *Network, cfg TrafficConfig) *Traffic {
 	if cfg.MaxPairs <= 0 {
 		cfg.MaxPairs = 1
@@ -59,64 +51,42 @@ func NewTraffic(nw *Network, cfg TrafficConfig) *Traffic {
 		cfg.MinFidelity = 0.64
 	}
 	t := &Traffic{net: nw, cfg: cfg}
-	rt := nv.RequestMeasure
-	if cfg.Keep {
-		rt = nv.RequestKeep
-	}
 	meanPairs := (1 + float64(cfg.MaxPairs)) / 2
 	for _, l := range nw.Links {
-		feu := l.EGPA.FEU()
-		rate := 0.0
-		if alpha, ok := feu.AlphaForFidelity(cfg.MinFidelity); ok && cfg.Load > 0 {
-			psucc := feu.SuccessProbability(alpha)
-			e := nw.Platform.ExpectedCyclesPerAttempt[rt]
-			if e < 1 {
-				e = 1
-			}
-			cycleSec := nw.Platform.CycleTime[nv.RequestMeasure].Seconds()
-			rate = cfg.Load * psucc / (e * cycleSec * meanPairs)
-		}
-		t.rates = append(t.rates, rate)
+		link := l
+		rate := workload.RatePerSecond(l.EGPA.FEU(), nw.Platform, cfg.Keep, cfg.Load, cfg.MinFidelity, meanPairs)
+		t.streams = append(t.streams, workload.NewPoissonStream(nw.Sim, rate, func() { t.fire(link) }))
 	}
 	return t
 }
 
 // Submitted returns how many requests the generator has issued.
-func (t *Traffic) Submitted() uint64 { return t.submitted }
+func (t *Traffic) Submitted() uint64 {
+	var n uint64
+	for _, s := range t.streams {
+		n += s.Arrivals()
+	}
+	return n
+}
 
 // Rate returns link i's request arrival rate in requests per second.
-func (t *Traffic) Rate(i int) float64 { return t.rates[i] }
+func (t *Traffic) Rate(i int) float64 { return t.streams[i].Rate() }
 
 // Start schedules the first arrival on every link. It is idempotent while
 // running.
 func (t *Traffic) Start() {
-	if t.running {
-		return
-	}
-	t.running = true
-	t.generation++
-	for i, l := range t.net.Links {
-		if t.rates[i] > 0 {
-			t.scheduleNext(l, t.rates[i], t.generation)
-		}
+	for _, s := range t.streams {
+		s.Start()
 	}
 }
 
-// Stop halts future arrivals (already-scheduled ones die on the generation
-// check, so a later Start cannot end up with doubled arrival chains).
-func (t *Traffic) Stop() { t.running = false }
-
-// scheduleNext draws the next exponential interarrival time for a link and
-// schedules the submission.
-func (t *Traffic) scheduleNext(l *Link, rate float64, generation uint64) {
-	delay := sim.DurationSeconds(t.net.Sim.RNG().Exponential(rate))
-	t.net.Sim.Schedule(delay, func() {
-		if !t.running || generation != t.generation {
-			return
-		}
-		t.fire(l)
-		t.scheduleNext(l, rate, generation)
-	})
+// Stop halts future arrivals (already-scheduled ones die on the stream's
+// generation check, so a later Start cannot end up with doubled arrival
+// chains).
+func (t *Traffic) Stop() {
+	for _, s := range t.streams {
+		s.Stop()
+	}
 }
 
 // fire submits one CREATE request on the link from a uniformly random
@@ -135,7 +105,6 @@ func (t *Traffic) fire(l *Link) {
 	if t.cfg.Keep {
 		priority = egp.PriorityCK
 	}
-	t.submitted++
 	t.net.Submit(l, role, egp.CreateRequest{
 		NumPairs:    k,
 		Keep:        t.cfg.Keep,

@@ -1,0 +1,456 @@
+// Package network is the network layer above netsim's link layer: it
+// delivers end-to-end entangled pairs between arbitrary node pairs of a
+// multi-link topology. A Router computes paths with a pluggable link cost
+// (shortest-path baseline, fidelity- or rate-aware alternatives); a per-node
+// swap engine consumes held create-and-keep pairs from each hop's EGP stack
+// and joins adjacent segments by entanglement swapping — an exact Bell-state
+// measurement on the repeater node's two qubits using internal/quantum
+// density-matrix arithmetic — signalling the Pauli-frame correction to the
+// segment ends over the classical node-to-node channels; and a CREATE-style
+// request API mirrors the paper's link-layer service interface end to end
+// (fidelity floor, deadline, priority) with per-request statekeeping,
+// timeouts and metrics.
+//
+// Everything runs on the one deterministic simulator of the underlying
+// netsim network, so end-to-end runs stay byte-reproducible for a fixed
+// seed. Network-layer frames ride the shared node-to-node channels under a
+// reserved mux tag and are forwarded hop by hop along the request's path;
+// like the MHP layer they carry in-memory structs (a wire encoding is
+// deliberately out of scope — the channels provide delay, ordering and loss,
+// which is what the protocol logic observes).
+//
+// Classical frame loss is survived with bounded resources rather than full
+// reliability: swap-notify frames are retransmitted until both segment ends
+// are informed (a request whose frames keep vanishing fails after the retry
+// budget), and link pairs stranded by a lost midpoint REPLY are reaped after
+// pendingPairDeadline — the held qubit is released and a replacement link
+// CREATE re-offers the hop. Under loss, delivery therefore costs retries and
+// queueing; callers that need bounded completion should set MaxTime, which
+// fails the request with TIMEOUT and releases everything it still holds.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/classical"
+	"repro/internal/egp"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/nv"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// RequestID identifies one end-to-end entanglement request.
+type RequestID uint64
+
+// NetworkPurposeID tags the link-layer CREATEs issued by the network layer.
+const NetworkPurposeID uint16 = 0x4E4C // "NL"
+
+// CreateRequest mirrors the paper's link-layer CREATE semantics end to end:
+// the higher layer asks for NumPairs entangled pairs between two (not
+// necessarily adjacent) nodes, above a delivered-fidelity floor, optionally
+// within a deadline.
+type CreateRequest struct {
+	SrcNode, DstNode int
+	NumPairs         int
+	// MinFidelity is the end-to-end delivered fidelity floor; the service
+	// inverts it through the swap composition rule into the per-hop floor it
+	// demands from every link.
+	MinFidelity float64
+	// MaxTime is the request deadline (0 = none): requests not completed in
+	// time fail with TIMEOUT and release every held qubit.
+	MaxTime sim.Duration
+	// Priority is the egp priority lane used for the per-hop CREATEs
+	// (default PriorityNL, the paper's network-layer lane).
+	Priority int
+}
+
+// OKEvent reports one delivered end-to-end pair.
+type OKEvent struct {
+	RequestID RequestID
+	Src, Dst  int
+	Hops      int
+	// Fidelity is the true delivered fidelity with |Ψ+⟩ (simulation ground
+	// truth); Predicted is the closed-form Werner composition of the
+	// consumed link-pair fidelities (and swap-gate factors), the network
+	// layer's analogue of the link layer's Goodness estimate.
+	Fidelity  float64
+	Predicted float64
+	// SwapLatency is delivery time minus the moment the last constituent
+	// link pair was ready: the pure swapping-and-signalling overhead.
+	SwapLatency sim.Duration
+	// PairLatency is delivery time minus request submission.
+	PairLatency    sim.Duration
+	PairsRemaining int
+	RequestDone    bool
+	At             sim.Time
+}
+
+// ErrorEvent reports an end-to-end request failure.
+type ErrorEvent struct {
+	RequestID RequestID
+	Src, Dst  int
+	Code      wire.EGPError
+	At        sim.Time
+}
+
+// Config selects the network layer's policies.
+type Config struct {
+	// Cost is the routing metric (nil = CostHops).
+	Cost CostFunc
+	// SwapGateFidelity models the repeater's Bell-state measurement as a
+	// depolarising channel of this fidelity on each measured qubit (1 =
+	// ideal BSM).
+	SwapGateFidelity float64
+	// TwirlLinkPairs applies the bilateral Pauli twirl to every consumed
+	// link pair, mapping it onto the Werner state of equal fidelity so the
+	// closed-form composition rule is exact (the standard repeater-protocol
+	// assumption). Off, states keep their full structure and Predicted
+	// becomes an approximation.
+	TwirlLinkPairs bool
+	// LinkPriority is the egp priority lane of the per-hop CREATEs.
+	LinkPriority int
+}
+
+// DefaultConfig returns the policies used by the end-to-end experiments:
+// shortest-path routing, ideal BSM, twirled link pairs, NL priority.
+func DefaultConfig() Config {
+	return Config{SwapGateFidelity: 1, TwirlLinkPairs: true, LinkPriority: egp.PriorityNL}
+}
+
+// hopKey identifies one link-layer CREATE issued by the service: the link,
+// the role of the originating endpoint and its CreateID.
+type hopKey struct {
+	link       netsim.LinkID
+	originRole string
+	createID   uint16
+}
+
+// requestState is the per-request bookkeeping of the service.
+type requestState struct {
+	id   RequestID
+	req  CreateRequest
+	path Path
+	// pos maps a path node to its index in path.Nodes, for hop-by-hop frame
+	// forwarding.
+	pos         map[int]int
+	linkFloor   float64
+	pairsLeft   int
+	segs        []*segment
+	submittedAt sim.Time
+	timeout     sim.EventID
+	hasTimeout  bool
+	done        bool
+	failed      bool
+	// hopOKCount counts down the link-layer OKs still expected per hop
+	// CREATE (two per pair, one from each endpoint); a hop whose CREATE has
+	// delivered them all retires its hopOwner entry, and once the request is
+	// finished and every hop retired the whole request state is forgotten
+	// (see maybeForget). openHops counts unretired hop CREATEs, including
+	// replacements issued for abandoned pairs.
+	hopOKCount map[hopKey]int
+	openHops   int
+}
+
+func (r *requestState) finished() bool { return r.done || r.failed }
+
+// Service is the network layer of one netsim network: router, per-node swap
+// engines and the end-to-end request table.
+type Service struct {
+	nw     *netsim.Network
+	cfg    Config
+	router *Router
+
+	nextID   RequestID
+	requests map[RequestID]*requestState
+	hopOwner map[hopKey]RequestID
+	// pendingLink holds link segments whose two endpoint OKs have not both
+	// arrived yet, keyed by the shared pair object.
+	pendingLink map[*nv.EntangledPair]*segment
+	// nodeSegs[n] holds the ready segments terminating at node n, per
+	// request, in arrival order.
+	nodeSegs []map[RequestID][]*segment
+
+	collector *metrics.Collector
+	aggs      map[string]*pathAgg
+	aggOrder  []string
+
+	swaps      uint64
+	framesSent uint64
+
+	// OnOK and OnError observe deliveries and failures.
+	OnOK    func(OKEvent)
+	OnError func(ErrorEvent)
+}
+
+// NewService builds the network layer over a netsim network. The network
+// must be configured with HoldPairs (the swap engine owns delivered
+// create-and-keep qubits until it consumes them) and must not have another
+// OnLinkOK consumer installed.
+func NewService(nw *netsim.Network, cfg Config) (*Service, error) {
+	if !nw.Config.HoldPairs {
+		return nil, fmt.Errorf("network: netsim must run with HoldPairs for the swap engine to consume pairs")
+	}
+	if cfg.SwapGateFidelity <= 0 || cfg.SwapGateFidelity > 1 {
+		return nil, fmt.Errorf("network: swap gate fidelity %g out of (0,1]", cfg.SwapGateFidelity)
+	}
+	if cfg.LinkPriority < 0 || cfg.LinkPriority >= egp.NumQueues {
+		cfg.LinkPriority = egp.PriorityNL
+	}
+	s := &Service{
+		nw:          nw,
+		cfg:         cfg,
+		router:      NewRouter(nw, cfg.Cost),
+		requests:    make(map[RequestID]*requestState),
+		hopOwner:    make(map[hopKey]RequestID),
+		pendingLink: make(map[*nv.EntangledPair]*segment),
+		nodeSegs:    make([]map[RequestID][]*segment, len(nw.Nodes)),
+		collector:   metrics.NewCollector(0),
+		aggs:        make(map[string]*pathAgg),
+	}
+	for i := range s.nodeSegs {
+		s.nodeSegs[i] = make(map[RequestID][]*segment)
+	}
+	nw.OnLinkOK = s.handleLinkOK
+	nw.OnLinkError = s.handleLinkError
+	for i := range nw.Nodes {
+		node := i
+		nw.RegisterNetworkHandler(node, func(m classical.Message) { s.handleFrame(node, m) })
+	}
+	return s, nil
+}
+
+// Router exposes the service's router (for CLIs printing chosen paths).
+func (s *Service) Router() *Router { return s.router }
+
+// Collector exposes the end-to-end metrics collector.
+func (s *Service) Collector() *metrics.Collector { return s.collector }
+
+// Swaps returns how many entanglement swaps the engine has performed.
+func (s *Service) Swaps() uint64 { return s.swaps }
+
+// FramesSent returns how many network-layer frame transmissions (including
+// per-hop forwards) the service has issued.
+func (s *Service) FramesSent() uint64 { return s.framesSent }
+
+// Create submits an end-to-end entanglement request. It returns the assigned
+// request ID and an immediate error code: ErrNone when the request was
+// accepted, ErrUnsupported when no route exists, the fidelity floor is
+// infeasible on some hop, or the deadline cannot be met even in expectation.
+func (s *Service) Create(req CreateRequest) (RequestID, wire.EGPError) {
+	id := s.nextID
+	s.nextID++
+	if req.NumPairs <= 0 {
+		req.NumPairs = 1
+	}
+	if req.Priority <= 0 || req.Priority >= egp.NumQueues {
+		req.Priority = s.cfg.LinkPriority
+	}
+	now := s.nw.Sim.Now()
+
+	path, err := s.router.Path(req.SrcNode, req.DstNode)
+	if err != nil {
+		// No resolvable path, so no per-path bucket to account this against;
+		// the collector still records the failure.
+		s.emitError(id, req, wire.ErrUnsupported, now)
+		return id, wire.ErrUnsupported
+	}
+	// Synchronous rejects on a resolved path count as offered-and-failed in
+	// that path's statistics, so rejected traffic is visible in the tables.
+	reject := func() (RequestID, wire.EGPError) {
+		agg := s.aggFor(path)
+		agg.requests++
+		agg.failed++
+		s.emitError(id, req, wire.ErrUnsupported, now)
+		return id, wire.ErrUnsupported
+	}
+	linkFloor := PerHopFidelityFloor(req.MinFidelity, path.Hops(), s.cfg.SwapGateFidelity)
+	for _, l := range path.Links {
+		if _, ok := l.EGPA.FEU().AlphaForFidelity(linkFloor); !ok {
+			return reject()
+		}
+	}
+	if req.MaxTime > 0 {
+		est := EstimatePathSeconds(path, req.NumPairs, linkFloor)
+		if math.IsInf(est, 1) || est > req.MaxTime.Seconds() {
+			return reject()
+		}
+	}
+
+	r := &requestState{
+		id:          id,
+		req:         req,
+		path:        path,
+		pos:         make(map[int]int, len(path.Nodes)),
+		linkFloor:   linkFloor,
+		pairsLeft:   req.NumPairs,
+		submittedAt: now,
+		hopOKCount:  make(map[hopKey]int, path.Hops()),
+	}
+	for i, n := range path.Nodes {
+		r.pos[n] = i
+	}
+	s.requests[id] = r
+	s.collector.RequestSubmitted(uint64(id), req.Priority, fmt.Sprintf("n%d", req.SrcNode), req.NumPairs, now)
+	s.pathAggFor(r).requests++
+
+	// One link-layer CREATE per hop, originated at the hop's path-upstream
+	// endpoint. The per-hop requests have no own deadline; the service-level
+	// timeout below owns request expiry.
+	for i, l := range path.Links {
+		if code := s.submitHopCreate(r, l, path.Nodes[i], req.NumPairs); code != wire.ErrNone {
+			s.failRequest(r, code)
+			return id, code
+		}
+	}
+	if req.MaxTime > 0 {
+		r.hasTimeout = true
+		r.timeout = s.nw.Sim.Schedule(req.MaxTime, func() { s.failRequest(r, wire.ErrTimeout) })
+	}
+	return id, wire.ErrNone
+}
+
+// submitHopCreate issues one link-layer create-and-keep CREATE for a hop of
+// the request (numPairs pairs, originated at the hop's path-upstream
+// endpoint) and registers its ownership bookkeeping.
+func (s *Service) submitHopCreate(r *requestState, l *netsim.Link, upNode, numPairs int) wire.EGPError {
+	role := roleOf(l, upNode)
+	createID, code := s.nw.Submit(l, role, egp.CreateRequest{
+		NumPairs:    numPairs,
+		Keep:        true,
+		MinFidelity: r.linkFloor,
+		Priority:    r.req.Priority,
+		PurposeID:   NetworkPurposeID,
+	})
+	if code != wire.ErrNone {
+		return code
+	}
+	key := hopKey{link: l.ID, originRole: role, createID: createID}
+	s.hopOwner[key] = r.id
+	r.hopOKCount[key] = 2 * numPairs
+	r.openHops++
+	return wire.ErrNone
+}
+
+// roleOf maps a link endpoint node to its per-link protocol role.
+func roleOf(l *netsim.Link, node int) string {
+	if node == l.Edge.B {
+		return "B"
+	}
+	return "A"
+}
+
+// emitError reports a request failure to the subscriber and the metrics.
+func (s *Service) emitError(id RequestID, req CreateRequest, code wire.EGPError, at sim.Time) {
+	s.collector.RequestFailed(uint64(id), code.String(), at)
+	if s.OnError != nil {
+		s.OnError(ErrorEvent{RequestID: id, Src: req.SrcNode, Dst: req.DstNode, Code: code, At: at})
+	}
+}
+
+// failRequest terminates a request: every held qubit of its live segments is
+// released, its engine state is dropped, and the failure is reported. Pairs
+// still in flight at the link layer are released as their OKs arrive.
+func (s *Service) failRequest(r *requestState, code wire.EGPError) {
+	if r.finished() {
+		return
+	}
+	r.failed = true
+	if r.hasTimeout {
+		r.timeout.Cancel()
+	}
+	for _, sg := range r.segs {
+		if sg.consumed || sg.delivered {
+			continue
+		}
+		// Release both ends; Release is a no-op on devices that never stored
+		// (or already dropped) this pair.
+		sg.devA.Release(sg.pair)
+		sg.devB.Release(sg.pair)
+	}
+	for _, n := range r.path.Nodes {
+		delete(s.nodeSegs[n], r.id)
+	}
+	s.pathAggFor(r).failed++
+	s.emitError(r.id, r.req, code, s.nw.Sim.Now())
+	s.maybeForget(r)
+}
+
+// maybeForget garbage-collects a request once it is finished AND every hop
+// CREATE has delivered (and thereby retired) all its link-layer OKs: only
+// then can no further event reference the request through the lookup maps.
+// This keeps requests/hopOwner/pendingLink bounded over long runs and, more
+// importantly, retires hopOwner keys before the link layer's uint16 CreateID
+// counter can wrap around onto them. Hops whose REPLYs were lost (under
+// classical loss) retire late or never; those entries are the price of
+// releasing their pairs whenever they do straggle in.
+func (s *Service) maybeForget(r *requestState) {
+	if !r.finished() || r.openHops != 0 {
+		return
+	}
+	delete(s.requests, r.id)
+	for _, sg := range r.segs {
+		delete(s.pendingLink, sg.pair)
+	}
+}
+
+// deliver hands a src–dst segment to the requester: decoherence is advanced
+// to now at both ends, the delivered fidelity is read out, the qubits are
+// released and the metrics updated.
+func (s *Service) deliver(sg *segment) {
+	r := sg.req
+	if r.finished() || sg.delivered {
+		return
+	}
+	now := s.nw.Sim.Now()
+	sg.devA.ApplyDecoherence(sg.pair, sg.sideA, now)
+	sg.devB.ApplyDecoherence(sg.pair, sg.sideB, now)
+	fid := sg.pair.Fidelity()
+	sg.devA.Release(sg.pair)
+	sg.devB.Release(sg.pair)
+	sg.delivered = true
+
+	if r.pairsLeft > 0 {
+		r.pairsLeft--
+	}
+	done := r.pairsLeft == 0
+	s.collector.PairDelivered(uint64(r.id), r.req.Priority, fmt.Sprintf("n%d", r.req.SrcNode), fid, now)
+	agg := s.pathAggFor(r)
+	agg.pairs++
+	agg.fidelity.Add(fid)
+	agg.predicted.Add(sg.predicted)
+	agg.swapLatency.Add(now.Sub(sg.linkReadyAt).Seconds())
+	agg.pairLatency.Add(now.Sub(r.submittedAt).Seconds())
+	if done {
+		r.done = true
+		if r.hasTimeout {
+			r.timeout.Cancel()
+		}
+		s.collector.RequestCompleted(uint64(r.id), now)
+		agg.completed++
+		for _, n := range r.path.Nodes {
+			delete(s.nodeSegs[n], r.id)
+		}
+		s.maybeForget(r)
+	}
+	if s.OnOK != nil {
+		s.OnOK(OKEvent{
+			RequestID:      r.id,
+			Src:            r.req.SrcNode,
+			Dst:            r.req.DstNode,
+			Hops:           r.path.Hops(),
+			Fidelity:       fid,
+			Predicted:      sg.predicted,
+			SwapLatency:    now.Sub(sg.linkReadyAt),
+			PairLatency:    now.Sub(r.submittedAt),
+			PairsRemaining: r.pairsLeft,
+			RequestDone:    done,
+			At:             now,
+		})
+	}
+}
+
+// FinishAt closes the measurement interval of the service's collectors.
+func (s *Service) FinishAt(t sim.Time) { s.collector.Finish(t) }

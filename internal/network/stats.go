@@ -1,0 +1,173 @@
+package network
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// pathAgg accumulates the per-path observations of one run.
+type pathAgg struct {
+	path        string
+	hops        int
+	requests    uint64
+	completed   uint64
+	failed      uint64
+	pairs       int
+	fidelity    metrics.Series
+	predicted   metrics.Series
+	swapLatency metrics.Series
+	pairLatency metrics.Series
+}
+
+// aggFor returns (creating on first use) the aggregate bucket of a path,
+// keeping first-seen order for deterministic reporting.
+func (s *Service) aggFor(p Path) *pathAgg {
+	key := p.String()
+	agg, ok := s.aggs[key]
+	if !ok {
+		agg = &pathAgg{path: key, hops: p.Hops()}
+		s.aggs[key] = agg
+		s.aggOrder = append(s.aggOrder, key)
+	}
+	return agg
+}
+
+// pathAggFor is aggFor over a request's resolved path.
+func (s *Service) pathAggFor(r *requestState) *pathAgg { return s.aggFor(r.path) }
+
+// PathStats summarises one path's delivered end-to-end performance (or the
+// pooled aggregate when Path is "aggregate").
+type PathStats struct {
+	Path      string
+	Hops      int
+	Requests  uint64
+	Completed uint64
+	Failed    uint64
+	Pairs     int
+	OKRate    float64 // delivered end-to-end pairs per simulated second
+	Fidelity  float64 // mean delivered fidelity
+	Predicted float64 // mean closed-form prediction
+	// Swap latency percentiles: delivery minus last constituent link pair,
+	// in seconds.
+	SwapP50, SwapP90, SwapP99 float64
+	// End-to-end per-pair latency percentiles: delivery minus submission.
+	E2EP50, E2EP99 float64
+}
+
+// statsFrom summarises one aggregate bucket over the given interval.
+func statsFrom(agg *pathAgg, seconds float64) PathStats {
+	return PathStats{
+		Path:      agg.path,
+		Hops:      agg.hops,
+		Requests:  agg.requests,
+		Completed: agg.completed,
+		Failed:    agg.failed,
+		Pairs:     agg.pairs,
+		OKRate:    metrics.SafeRate(float64(agg.pairs), seconds),
+		Fidelity:  agg.fidelity.Mean(),
+		Predicted: agg.predicted.Mean(),
+		SwapP50:   agg.swapLatency.Percentile(50),
+		SwapP90:   agg.swapLatency.Percentile(90),
+		SwapP99:   agg.swapLatency.Percentile(99),
+		E2EP50:    agg.pairLatency.Percentile(50),
+		E2EP99:    agg.pairLatency.Percentile(99),
+	}
+}
+
+// Stats returns the per-path summaries in first-seen order plus the pooled
+// aggregate row, whose percentiles are true percentiles over the pooled raw
+// observations (not averages of per-path percentiles).
+func (s *Service) Stats() (perPath []PathStats, aggregate PathStats) {
+	seconds := s.collector.DurationSeconds()
+	var fid, pred, swapLat, e2eLat metrics.Series
+	maxHops := 0
+	for _, key := range s.aggOrder {
+		agg := s.aggs[key]
+		perPath = append(perPath, statsFrom(agg, seconds))
+		aggregate.Requests += agg.requests
+		aggregate.Completed += agg.completed
+		aggregate.Failed += agg.failed
+		aggregate.Pairs += agg.pairs
+		if agg.hops > maxHops {
+			maxHops = agg.hops
+		}
+		for _, v := range agg.fidelity.Values() {
+			fid.Add(v)
+		}
+		for _, v := range agg.predicted.Values() {
+			pred.Add(v)
+		}
+		for _, v := range agg.swapLatency.Values() {
+			swapLat.Add(v)
+		}
+		for _, v := range agg.pairLatency.Values() {
+			e2eLat.Add(v)
+		}
+	}
+	aggregate.Path = "aggregate"
+	aggregate.Hops = maxHops
+	aggregate.OKRate = metrics.SafeRate(float64(aggregate.Pairs), seconds)
+	aggregate.Fidelity = fid.Mean()
+	aggregate.Predicted = pred.Mean()
+	aggregate.SwapP50 = swapLat.Percentile(50)
+	aggregate.SwapP90 = swapLat.Percentile(90)
+	aggregate.SwapP99 = swapLat.Percentile(99)
+	aggregate.E2EP50 = e2eLat.Percentile(50)
+	aggregate.E2EP99 = e2eLat.Percentile(99)
+	return perPath, aggregate
+}
+
+// MeanPathStats averages the same path's stats across trials in trial order,
+// mirroring netsim.MeanStats: fidelity and prediction weight by delivered
+// pairs, latency percentiles average only over delivering trials, and the
+// helper is total on empty input (no NaN).
+func MeanPathStats(rows []PathStats) PathStats {
+	var out PathStats
+	if len(rows) == 0 {
+		return out
+	}
+	out.Path = rows[0].Path
+	for _, r := range rows {
+		if r.Hops > out.Hops {
+			out.Hops = r.Hops
+		}
+	}
+	n := float64(len(rows))
+	var requests, completed, failed, pairs, fidW, latTrials float64
+	for _, r := range rows {
+		requests += float64(r.Requests)
+		completed += float64(r.Completed)
+		failed += float64(r.Failed)
+		pairs += float64(r.Pairs)
+		out.OKRate += r.OKRate / n
+		if r.Pairs > 0 {
+			w := float64(r.Pairs)
+			out.Fidelity += r.Fidelity * w
+			out.Predicted += r.Predicted * w
+			fidW += w
+			out.SwapP50 += r.SwapP50
+			out.SwapP90 += r.SwapP90
+			out.SwapP99 += r.SwapP99
+			out.E2EP50 += r.E2EP50
+			out.E2EP99 += r.E2EP99
+			latTrials++
+		}
+	}
+	if fidW > 0 {
+		out.Fidelity /= fidW
+		out.Predicted /= fidW
+	}
+	if latTrials > 0 {
+		out.SwapP50 /= latTrials
+		out.SwapP90 /= latTrials
+		out.SwapP99 /= latTrials
+		out.E2EP50 /= latTrials
+		out.E2EP99 /= latTrials
+	}
+	out.Requests = uint64(math.Round(requests / n))
+	out.Completed = uint64(math.Round(completed / n))
+	out.Failed = uint64(math.Round(failed / n))
+	out.Pairs = int(math.Round(pairs / n))
+	return out
+}

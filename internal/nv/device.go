@@ -93,6 +93,26 @@ func (p *EntangledPair) Qubit(side PairSide) QubitID { return p.qubit[side] }
 // Fidelity returns the current fidelity with the heralded Bell state.
 func (p *EntangledPair) Fidelity() float64 { return p.State.BellFidelity(p.HeraldedAs) }
 
+// NewSwappedPair builds the end-to-end pair produced by an entanglement
+// swap: the post-measurement state of the two far qubits (left's far qubit is
+// side A, right's far qubit side B), with each side inheriting the storage
+// bookkeeping — qubit kind, physical qubit and decoherence clock — of the
+// input pair it came from. The swapping node's callers release the two
+// consumed middle qubits and Rebind the far devices onto the returned pair.
+func NewSwappedPair(state *quantum.State, heralded quantum.BellState, left *EntangledPair, leftFar PairSide, right *EntangledPair, rightFar PairSide, now sim.Time) *EntangledPair {
+	if state.NumQubits() != 2 {
+		panic("nv: swapped pair must be a two-qubit state")
+	}
+	p := &EntangledPair{State: state, CreatedAt: now, HeraldedAs: heralded}
+	p.kind[SideA] = left.kind[leftFar]
+	p.qubit[SideA] = left.qubit[leftFar]
+	p.lastUpdate[SideA] = left.lastUpdate[leftFar]
+	p.kind[SideB] = right.kind[rightFar]
+	p.qubit[SideB] = right.qubit[rightFar]
+	p.lastUpdate[SideB] = right.lastUpdate[rightFar]
+	return p
+}
+
 // Device models one NV node's quantum processing unit: a single
 // communication qubit plus a small number of carbon memory qubits, with the
 // noisy gate set and decoherence model of the paper's appendix.
@@ -188,6 +208,22 @@ func (d *Device) Release(pair *EntangledPair) {
 			return
 		}
 	}
+}
+
+// Rebind repoints the qubit slot holding old at a replacement pair, keeping
+// the physical qubit occupied: after an entanglement swap elsewhere in the
+// network, the qubit this device stores is unchanged physically but now
+// belongs to the composed end-to-end pair. It returns ErrQubitFree when this
+// device does not hold old.
+func (d *Device) Rebind(old, replacement *EntangledPair, side PairSide) error {
+	for q, p := range d.occupied {
+		if p == old {
+			d.occupied[q] = replacement
+			d.side[q] = side
+			return nil
+		}
+	}
+	return ErrQubitFree
 }
 
 // ReleaseAll frees every qubit (used on expiry of whole requests).

@@ -1,0 +1,241 @@
+package quantum
+
+import (
+	"sync"
+)
+
+// This file implements the quantum mechanics of entanglement swapping: Bell
+// projectors and joint Bell-state measurements (BSM), Werner states and the
+// twirl that maps an arbitrary two-qubit state onto the Werner form of equal
+// fidelity, the closed-form fidelity composition rule for chains of swapped
+// Werner pairs, and the classical Pauli-frame bookkeeping (which Bell state a
+// swap produces for a given measurement outcome, and which local Pauli
+// rotates it back to the target). The network layer builds repeater chains on
+// these primitives; everything here is exact density-matrix arithmetic.
+
+// BellProjector returns the rank-one projector |b⟩⟨b| onto a Bell state as a
+// 4×4 matrix.
+func BellProjector(b BellState) Matrix {
+	ket := BellKet(b)
+	m := NewMatrix(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, ket[i]*conj(ket[j]))
+		}
+	}
+	return m
+}
+
+// WernerWeight converts a fidelity with a Bell state into the Werner weight
+// w: ρ = w·|b⟩⟨b| + (1−w)/4·I, so F = (1+3w)/4 and w = (4F−1)/3.
+func WernerWeight(fidelity float64) float64 { return (4*fidelity - 1) / 3 }
+
+// WernerFidelity is the inverse of WernerWeight: F = (1+3w)/4.
+func WernerFidelity(weight float64) float64 { return (1 + 3*weight) / 4 }
+
+// WernerState returns the Werner state of the given fidelity with the target
+// Bell state: the mixture w·|b⟩⟨b| + (1−w)/4·I₄. Fidelity 1 gives the pure
+// Bell state, fidelity 1/4 the maximally mixed state.
+func WernerState(target BellState, fidelity float64) *State {
+	w := WernerWeight(fidelity)
+	rho := BellProjector(target).Scale(complex(w, 0))
+	floor := complex((1-w)/4, 0)
+	for i := 0; i < 4; i++ {
+		rho.Set(i, i, rho.At(i, i)+floor)
+	}
+	return NewStateFromDensity(rho)
+}
+
+// TwirlToWerner replaces a two-qubit state in place by the Werner state of
+// the same fidelity with the target Bell state, and returns that fidelity.
+// Physically this is the bilateral random Pauli twirl used by repeater
+// protocols to make fidelity composition analytically tractable; it never
+// changes the fidelity itself, only discards the off-Werner structure.
+func TwirlToWerner(s *State, target BellState) float64 {
+	if s.NumQubits() != 2 {
+		panic("quantum: TwirlToWerner requires a two-qubit state")
+	}
+	f := s.BellFidelity(target)
+	s.rho = WernerState(target, f).rho
+	return f
+}
+
+// ComposedSwapFidelity returns the closed-form end-to-end fidelity of a chain
+// of Werner pairs joined by ideal Bell-state measurements: the Werner weights
+// multiply, so F = (1 + 3·∏ wᵢ)/4 with wᵢ = (4Fᵢ−1)/3. With a single input
+// it returns that fidelity unchanged.
+func ComposedSwapFidelity(fidelities ...float64) float64 {
+	w := 1.0
+	for _, f := range fidelities {
+		w *= WernerWeight(f)
+	}
+	return WernerFidelity(w)
+}
+
+// DepolarizingWeightFactor returns the factor by which a Werner weight
+// shrinks when one qubit of the pair passes through a depolarising channel of
+// the given fidelity: w → w·(4f−1)/3.
+func DepolarizingWeightFactor(gateFidelity float64) float64 {
+	return (4*gateFidelity - 1) / 3
+}
+
+// SwapPredictFidelity is ComposedSwapFidelity for one swap with a noisy BSM:
+// both measured qubits pass through a depolarising channel of the given gate
+// fidelity before the (otherwise ideal) measurement, so the composed weight
+// picks up the depolarising factor twice.
+func SwapPredictFidelity(left, right, gateFidelity float64) float64 {
+	g := DepolarizingWeightFactor(gateFidelity)
+	return WernerFidelity(WernerWeight(left) * WernerWeight(right) * g * g)
+}
+
+// MeasureBell performs a joint Bell-state measurement on qubits q1 and q2 of
+// the state: the uniform sample u in [0,1) selects the outcome branch (so the
+// caller drives all randomness explicitly), the state collapses onto the
+// measured Bell projector, and the outcome label is returned.
+func MeasureBell(s *State, q1, q2 int, u float64) BellState {
+	var probs [4]float64
+	total := 0.0
+	for b := PhiPlus; b <= PsiMinus; b++ {
+		probs[b] = s.Probability(BellProjector(b), q1, q2)
+		total += probs[b]
+	}
+	outcome := PsiMinus
+	if total > 0 {
+		x := u * total
+		for b := PhiPlus; b <= PsiMinus; b++ {
+			x -= probs[b]
+			if x < 0 {
+				outcome = b
+				break
+			}
+		}
+	}
+	s.Collapse(BellProjector(outcome), q1, q2)
+	return outcome
+}
+
+// SwapVia performs one entanglement swap: given the joint states of two pairs
+// and the qubit each pair contributes to the swapping node (qL of left, qR of
+// right), it measures those two qubits in the Bell basis — through a
+// depolarising channel of the given gate fidelity on each measured qubit when
+// gateFidelity < 1 — and returns the post-measurement state of the two far
+// qubits (left's far qubit first) plus the measured outcome. The uniform
+// sample u selects the outcome branch.
+func SwapVia(left, right *State, qL, qR int, gateFidelity, u float64) (*State, BellState) {
+	if left.NumQubits() != 2 || right.NumQubits() != 2 {
+		panic("quantum: SwapVia requires two-qubit pair states")
+	}
+	joint := left.Tensor(right)
+	m1, m2 := qL, 2+qR
+	if gateFidelity < 1 {
+		joint.ApplyKraus(DepolarizingKraus(gateFidelity), m1)
+		joint.ApplyKraus(DepolarizingKraus(gateFidelity), m2)
+	}
+	outcome := MeasureBell(joint, m1, m2, u)
+	return joint.PartialTrace(m1, m2), outcome
+}
+
+// swapTables holds the lazily derived Pauli-frame bookkeeping: which Bell
+// state a swap produces for given input labels and BSM outcome, and which
+// local Pauli converts one Bell state into another. Both are derived once by
+// exact pure-state simulation instead of hand-written algebra.
+var swapTables struct {
+	once sync.Once
+	// swapped[b1][b2][m] is the Bell label of the far-end state when pairs
+	// labelled b1 (A–B) and b2 (C–D) are joined by a BSM on (B,C) with
+	// outcome m.
+	swapped [4][4][4]BellState
+	// correction[from][to] indexes the Pauli (0=I, 1=X, 2=Y, 3=Z) that, when
+	// applied to the second qubit, maps |from⟩ to |to⟩ up to global phase.
+	correction [4][4]int
+}
+
+// pauliByIndex returns the Pauli matrix for a correction index.
+func pauliByIndex(i int) Matrix {
+	switch i {
+	case 0:
+		return I2()
+	case 1:
+		return PauliX()
+	case 2:
+		return PauliY()
+	case 3:
+		return PauliZ()
+	default:
+		panic("quantum: pauli index out of range")
+	}
+}
+
+// deriveSwapTables computes both lookup tables from first principles with the
+// density-matrix simulator: every entry is pinned by a fidelity-1 match, so a
+// bookkeeping bug here would fail loudly at first use.
+func deriveSwapTables() {
+	const tol = 1e-9
+	// Correction table: (I ⊗ P)|from⟩ ≟ |to⟩.
+	for from := PhiPlus; from <= PsiMinus; from++ {
+		for to := PhiPlus; to <= PsiMinus; to++ {
+			found := -1
+			for p := 0; p < 4; p++ {
+				s := NewBellState(from)
+				s.ApplyUnitary(pauliByIndex(p), 1)
+				if s.BellFidelity(to) > 1-tol {
+					found = p
+					break
+				}
+			}
+			if found < 0 {
+				panic("quantum: no Pauli maps " + from.String() + " to " + to.String())
+			}
+			swapTables.correction[from][to] = found
+		}
+	}
+	// Swap table: project |b1⟩_AB ⊗ |b2⟩_CD onto |m⟩_BC and identify the
+	// remaining A–D Bell state. Every outcome has probability 1/4 for Bell
+	// inputs, so the projection never vanishes.
+	for b1 := PhiPlus; b1 <= PsiMinus; b1++ {
+		for b2 := PhiPlus; b2 <= PsiMinus; b2++ {
+			for m := PhiPlus; m <= PsiMinus; m++ {
+				joint := NewBellState(b1).Tensor(NewBellState(b2))
+				if joint.Collapse(BellProjector(m), 1, 2) <= 0 {
+					panic("quantum: vanishing BSM branch for Bell inputs")
+				}
+				far := joint.PartialTrace(1, 2)
+				found := BellState(-1)
+				for r := PhiPlus; r <= PsiMinus; r++ {
+					if far.BellFidelity(r) > 1-tol {
+						found = r
+						break
+					}
+				}
+				if found < 0 {
+					panic("quantum: swap of Bell states did not yield a Bell state")
+				}
+				swapTables.swapped[b1][b2][m] = found
+			}
+		}
+	}
+}
+
+// SwappedBell returns the Bell label of the far-end pair produced by joining
+// pairs labelled b1 and b2 with a Bell-state measurement whose outcome is m.
+// The noisy analogue holds label-wise: a swap of Werner states with these
+// labels yields a Werner state with the returned label.
+func SwappedBell(b1, b2, m BellState) BellState {
+	swapTables.once.Do(deriveSwapTables)
+	return swapTables.swapped[b1][b2][m]
+}
+
+// CorrectionPauli returns the single-qubit Pauli that, applied to the second
+// qubit (side B) of a pair in Bell state from, converts it into Bell state to
+// (up to an irrelevant global phase). For from == to it returns the identity.
+func CorrectionPauli(from, to BellState) Matrix {
+	swapTables.once.Do(deriveSwapTables)
+	return pauliByIndex(swapTables.correction[from][to])
+}
+
+// CorrectionIsIdentity reports whether converting from → to needs no local
+// operation (the Pauli frame already matches).
+func CorrectionIsIdentity(from, to BellState) bool {
+	swapTables.once.Do(deriveSwapTables)
+	return swapTables.correction[from][to] == 0
+}

@@ -1,0 +1,172 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWernerStateProperties checks the Werner construction: unit trace,
+// requested Bell fidelity, and the weight/fidelity inversions.
+func TestWernerStateProperties(t *testing.T) {
+	for _, target := range []BellState{PhiPlus, PhiMinus, PsiPlus, PsiMinus} {
+		for _, f := range []float64{0.25, 0.5, 0.8, 0.97, 1.0} {
+			s := WernerState(target, f)
+			if tr := s.TraceReal(); math.Abs(tr-1) > 1e-12 {
+				t.Fatalf("Werner(%v, %g) trace = %g", target, f, tr)
+			}
+			if got := s.BellFidelity(target); math.Abs(got-f) > 1e-12 {
+				t.Fatalf("Werner(%v, %g) fidelity = %g", target, f, got)
+			}
+			if got := WernerFidelity(WernerWeight(f)); math.Abs(got-f) > 1e-12 {
+				t.Fatalf("weight/fidelity inversion broken at %g: %g", f, got)
+			}
+		}
+	}
+}
+
+// TestTwirlPreservesFidelity checks the twirl keeps the target fidelity while
+// mapping onto the exact Werner form.
+func TestTwirlPreservesFidelity(t *testing.T) {
+	s := NewBellState(PsiPlus)
+	ApplyMemoryNoise(s, 0, 0.3, T1T2Params{T1: 1, T2: 0.5})
+	s.ApplyKraus(DephasingKraus(0.07), 1)
+	before := s.BellFidelity(PsiPlus)
+	got := TwirlToWerner(s, PsiPlus)
+	if math.Abs(got-before) > 1e-12 {
+		t.Fatalf("twirl changed fidelity: %g -> %g", before, got)
+	}
+	want := WernerState(PsiPlus, before)
+	if !s.Density().Equalish(want.Density(), 1e-12) {
+		t.Fatalf("twirled state is not Werner form")
+	}
+}
+
+// swapWernerChain swaps a chain of Werner pairs left to right with ideal
+// BSMs, applying the bookkeeping correction after every swap so the running
+// segment is always labelled PsiPlus, and returns the final state.
+func swapWernerChain(t *testing.T, fidelities []float64, us []float64) *State {
+	t.Helper()
+	seg := WernerState(PsiPlus, fidelities[0])
+	for i := 1; i < len(fidelities); i++ {
+		next := WernerState(PsiPlus, fidelities[i])
+		reduced, m := SwapVia(seg, next, 1, 0, 1.0, us[i-1])
+		label := SwappedBell(PsiPlus, PsiPlus, m)
+		reduced.ApplyUnitary(CorrectionPauli(label, PsiPlus), 1)
+		seg = reduced
+	}
+	return seg
+}
+
+// TestSwapFidelityComposition pins the exact density-matrix swap against the
+// closed-form Werner composition F = (1+3·∏wᵢ)/4 for chains of 2, 3, 4 and 5
+// pairs (1 to 4 swaps), across every BSM outcome branch.
+func TestSwapFidelityComposition(t *testing.T) {
+	cases := [][]float64{
+		{0.95, 0.9},
+		{0.9, 0.85, 0.8},
+		{0.97, 0.93, 0.89, 0.85},
+		{0.95, 0.9, 0.85, 0.8, 0.75},
+	}
+	// Outcome branch samples: u near 0, mid, and near 1 exercise different
+	// measured Bell states.
+	branches := []float64{0.01, 0.3, 0.6, 0.99}
+	for _, fids := range cases {
+		want := ComposedSwapFidelity(fids...)
+		for _, u := range branches {
+			us := make([]float64, len(fids)-1)
+			for i := range us {
+				us[i] = u
+			}
+			seg := swapWernerChain(t, fids, us)
+			got := seg.BellFidelity(PsiPlus)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%d-pair chain (u=%g): swapped fidelity %.12f, closed form %.12f", len(fids), u, got, want)
+			}
+			// The composed state must itself be Werner, so further composition
+			// stays exact.
+			if !seg.Density().Equalish(WernerState(PsiPlus, got).Density(), 1e-9) {
+				t.Errorf("%d-pair chain (u=%g): swapped state is not Werner", len(fids), u)
+			}
+		}
+	}
+}
+
+// TestSwapNoisyBSMPrediction checks SwapPredictFidelity against the exact
+// simulation when the BSM qubits pass through depolarising noise.
+func TestSwapNoisyBSMPrediction(t *testing.T) {
+	const fL, fR, gate = 0.95, 0.9, 0.98
+	want := SwapPredictFidelity(fL, fR, gate)
+	for _, u := range []float64{0.1, 0.4, 0.7, 0.95} {
+		reduced, m := SwapVia(WernerState(PsiPlus, fL), WernerState(PsiPlus, fR), 1, 0, gate, u)
+		reduced.ApplyUnitary(CorrectionPauli(SwappedBell(PsiPlus, PsiPlus, m), PsiPlus), 1)
+		got := reduced.BellFidelity(PsiPlus)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("noisy swap (u=%g): fidelity %.12f, predicted %.12f", u, got, want)
+		}
+	}
+}
+
+// TestMeasureBellOutcomeDistribution checks the BSM on a pure Bell pair
+// tensor product: all four outcomes occur with probability 1/4, and the
+// branch selection follows the uniform sample.
+func TestMeasureBellOutcomeDistribution(t *testing.T) {
+	for i, u := range []float64{0.1, 0.35, 0.6, 0.85} {
+		joint := NewBellState(PsiPlus).Tensor(NewBellState(PsiPlus))
+		m := MeasureBell(joint, 1, 2, u)
+		if int(m) != i {
+			t.Errorf("u=%g selected outcome %v, want branch %d", u, m, i)
+		}
+	}
+}
+
+// TestSwappedBellTable spot-checks the derived swap bookkeeping against the
+// textbook identities for Phi+ inputs: the far-end label equals the BSM
+// outcome when both inputs are Phi+.
+func TestSwappedBellTable(t *testing.T) {
+	for m := PhiPlus; m <= PsiMinus; m++ {
+		if got := SwappedBell(PhiPlus, PhiPlus, m); got != m {
+			t.Errorf("SwappedBell(Phi+, Phi+, %v) = %v, want %v", m, got, m)
+		}
+	}
+	// Psi+ inputs follow the Pauli-frame algebra σ(b1)·σ(m)·σ(b2) over the
+	// Phi+ frame: outcome Phi+ leaves X·I·X = I (so Phi+), outcome Psi+
+	// leaves X·X·X = X (so Psi+).
+	if got := SwappedBell(PsiPlus, PsiPlus, PhiPlus); got != PhiPlus {
+		t.Errorf("SwappedBell(Psi+, Psi+, Phi+) = %v, want Phi+", got)
+	}
+	if got := SwappedBell(PsiPlus, PsiPlus, PsiPlus); got != PsiPlus {
+		t.Errorf("SwappedBell(Psi+, Psi+, Psi+) = %v, want Psi+", got)
+	}
+}
+
+// TestCorrectionPauliBookkeeping verifies every (from, to) correction entry
+// by applying it: the corrected state must match the target exactly, and the
+// from == to entries must be the identity.
+func TestCorrectionPauliBookkeeping(t *testing.T) {
+	for from := PhiPlus; from <= PsiMinus; from++ {
+		for to := PhiPlus; to <= PsiMinus; to++ {
+			s := NewBellState(from)
+			s.ApplyUnitary(CorrectionPauli(from, to), 1)
+			if f := s.BellFidelity(to); math.Abs(f-1) > 1e-12 {
+				t.Errorf("correction %v -> %v leaves fidelity %g", from, to, f)
+			}
+			if (from == to) != CorrectionIsIdentity(from, to) {
+				t.Errorf("CorrectionIsIdentity(%v, %v) inconsistent", from, to)
+			}
+		}
+	}
+}
+
+// TestCorrectionAfterDecoherence checks that the Pauli frame bookkeeping
+// composes with noise: correcting a decohered pair still yields the fidelity
+// the noise-free label algebra predicts (corrections commute with the Werner
+// part of the state).
+func TestCorrectionAfterDecoherence(t *testing.T) {
+	for from := PhiPlus; from <= PsiMinus; from++ {
+		s := WernerState(from, 0.87)
+		s.ApplyUnitary(CorrectionPauli(from, PsiPlus), 1)
+		if f := s.BellFidelity(PsiPlus); math.Abs(f-0.87) > 1e-12 {
+			t.Errorf("Werner correction %v -> Psi+: fidelity %g, want 0.87", from, f)
+		}
+	}
+}

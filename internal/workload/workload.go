@@ -91,19 +91,18 @@ type Generator struct {
 	net     *core.Network
 	classes []Class
 	origin  Origin
-	// perCycleProb[i] is the per-cycle probability of issuing a request of
+	// baseProb[i] is the per-cycle probability of issuing a request of
 	// class i (before dividing by the sampled k).
 	baseProb []float64
-	psucc    float64
 
 	submitted map[int]int
 	stop      func()
 }
 
 // NewGenerator builds a workload generator for the given network. The
-// per-class arrival probabilities are derived from the network's calibrated
-// success probability and expected cycles per attempt, exactly as in
-// Section 6: P(new request of class P with k pairs) = f_P·psucc/(E·k).
+// per-class arrival probabilities come from the shared arrival model of
+// poisson.go, exactly as in Section 6: P(new request of class P with k
+// pairs) = f_P·psucc/(E·k).
 func NewGenerator(net *core.Network, origin Origin, classes []Class) *Generator {
 	g := &Generator{
 		net:       net,
@@ -113,20 +112,7 @@ func NewGenerator(net *core.Network, origin Origin, classes []Class) *Generator 
 	}
 	feu := net.EGPA.FEU()
 	for _, c := range classes {
-		alpha, ok := feu.AlphaForFidelity(c.MinFidelity)
-		psucc := 0.0
-		if ok {
-			psucc = feu.SuccessProbability(alpha)
-		}
-		rt := nv.RequestMeasure
-		if c.Keep() {
-			rt = nv.RequestKeep
-		}
-		e := net.Platform.ExpectedCyclesPerAttempt[rt]
-		if e < 1 {
-			e = 1
-		}
-		g.baseProb = append(g.baseProb, c.Fraction*psucc/e)
+		g.baseProb = append(g.baseProb, PerCycleProbability(feu, net.Platform, c.Keep(), c.Fraction, c.MinFidelity))
 	}
 	return g
 }
