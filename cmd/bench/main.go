@@ -1,0 +1,161 @@
+// Command bench runs the structured benchmark scenarios of internal/bench
+// and reports the repo's performance trajectory: deterministic work counters
+// (events, attempts, delivered pairs), heap cost per entanglement attempt,
+// and — with -wallclock — host throughput.
+//
+// The human-readable table always prints to stdout. With -json, every
+// scenario additionally writes BENCH_<scenario>.json into -out; those files
+// are byte-identical across runs and -parallel levels unless -wallclock adds
+// the host-dependent section. With -baseline, the fresh results are gated
+// against the committed baseline directory and the process exits non-zero on
+// regression.
+//
+// Examples:
+//
+//	bench                                    # all scenarios, table only
+//	bench -scenarios single-link,e2e-4hop
+//	bench -json -out bench/baseline -wallclock   # refresh the committed baseline
+//	bench -json -baseline bench/baseline -gate 0.20   # the CI alloc gate
+//
+// Gating wall-clock throughput (-wallclock together with -baseline) is only
+// meaningful when both sides were measured on the same machine; CI does it
+// by re-measuring the PR's merge-base on the same runner.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scenarios = flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+		list      = flag.Bool("list", false, "list registered scenarios and exit")
+		seconds   = flag.Float64("seconds", 1, "simulated seconds per trial")
+		trials    = flag.Int("trials", 3, "independently seeded repetitions feeding the deterministic counters")
+		seed      = flag.Int64("seed", 1, "base random seed (trial seeds are derived from it)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the trial fan-out (never changes any reported number)")
+		jsonOut   = flag.Bool("json", false, "write BENCH_<scenario>.json files into -out")
+		outDir    = flag.String("out", ".", "directory for -json output")
+		wallclock = flag.Bool("wallclock", false, "add the host-dependent wall-clock section (makes the JSON machine-specific)")
+		baseline  = flag.String("baseline", "", "baseline directory to gate against (fails on regression)")
+		gate      = flag.Float64("gate", 0.20, "allowed relative regression vs the baseline (0.20 = 20%)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range bench.Scenarios() {
+			fmt.Printf("%-12s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	var selected []bench.Scenario
+	if *scenarios == "all" {
+		selected = bench.Scenarios()
+	} else {
+		for _, name := range strings.Split(*scenarios, ",") {
+			name = strings.TrimSpace(name)
+			sc, ok := bench.ScenarioByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown scenario %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, sc)
+		}
+	}
+
+	opts := bench.Options{
+		SimSeconds:  *seconds,
+		Trials:      *trials,
+		Seed:        *seed,
+		Parallelism: *parallel,
+		WallClock:   *wallclock,
+	}
+
+	columns := []string{"scenario", "events", "attempts", "pairs", "events/sim-s", "pairs/sim-s", "allocs/attempt", "bytes/attempt"}
+	if *wallclock {
+		columns = append(columns, "events/wall-s", "sim-s/wall-s")
+	}
+	table := experiments.Table{
+		ID:      "bench",
+		Caption: fmt.Sprintf("%d trial(s) x %.2f simulated second(s), seed %d", opts.Trials, opts.SimSeconds, opts.Seed),
+		Columns: columns,
+	}
+
+	var regressions []string
+	for _, sc := range selected {
+		res, err := bench.Run(sc, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		row := []string{
+			res.Scenario,
+			fmt.Sprintf("%d", res.Totals.Events),
+			fmt.Sprintf("%d", res.Totals.Attempts),
+			fmt.Sprintf("%d", res.Totals.Pairs),
+			fmt.Sprintf("%.0f", res.Rates.EventsPerSimSec),
+			fmt.Sprintf("%.1f", res.Rates.PairsPerSimSec),
+			fmt.Sprintf("%.3f", res.AllocsPerAttempt),
+			fmt.Sprintf("%.1f", res.BytesPerAttempt),
+		}
+		if *wallclock && res.WallClock != nil {
+			row = append(row,
+				fmt.Sprintf("%.0f", res.WallClock.EventsPerWallSec),
+				fmt.Sprintf("%.2f", res.WallClock.SimSecPerWallSec))
+		}
+		table.Rows = append(table.Rows, row)
+
+		if *jsonOut {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path, err := res.WriteFile(*outDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		if *baseline != "" {
+			base, err := bench.ReadFile(*baseline + "/" + bench.FileName(res.Scenario))
+			switch {
+			case errors.Is(err, os.ErrNotExist):
+				// A scenario with no baseline yet (e.g. added by this very
+				// change) is reported, not failed; the refresh commits it.
+				fmt.Fprintf(os.Stderr, "note: no baseline for %s in %s; skipping comparison\n", res.Scenario, *baseline)
+			case err != nil:
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			default:
+				regs, err := bench.Compare(base, res, *gate)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				regressions = append(regressions, regs...)
+			}
+		}
+	}
+
+	fmt.Println(table.String())
+
+	if *baseline != "" {
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "REGRESSION: "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "baseline gate passed (tolerance %.0f%%)\n", *gate*100)
+	}
+}

@@ -1,0 +1,416 @@
+// Package bench is the repo's structured benchmark subsystem: a registry of
+// end-to-end simulation scenarios (single link, 8-node chain, 3×3 grid,
+// 4-hop repeater path) that are run for a fixed amount of simulated time and
+// measured along two independent axes:
+//
+//   - deterministic work counters — simulator events executed, entanglement
+//     attempts sampled, pairs delivered — which are byte-identical for a
+//     given seed at any trial parallelism, and
+//   - host-dependent cost — heap allocations and bytes per entanglement
+//     attempt (measured on a dedicated serial pass with the GC paused) and,
+//     optionally, wall-clock throughput (events per wall-second, simulated
+//     seconds per wall-second).
+//
+// Results serialise to a stable JSON schema (BENCH_<scenario>.json, see
+// Result) so CI can diff a fresh run against the committed baseline and fail
+// on regressions; cmd/bench is the CLI front end.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/egp"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/nv"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Counters are the deterministic work counters of one running scenario
+// instance, cumulative since construction.
+type Counters struct {
+	// Events is how many discrete-event callbacks the simulator has fired.
+	Events uint64 `json:"events"`
+	// Attempts is how many entanglement generation attempts were sampled at
+	// the heralding midpoints.
+	Attempts uint64 `json:"attempts"`
+	// Pairs is how many entangled pairs the scenario's top layer delivered
+	// (link-layer OKs for link scenarios, end-to-end pairs for e2e ones).
+	Pairs uint64 `json:"pairs"`
+	// Requests is how many CREATE requests the traffic source submitted.
+	Requests uint64 `json:"requests"`
+}
+
+// add accumulates other into c.
+func (c *Counters) add(other Counters) {
+	c.Events += other.Events
+	c.Attempts += other.Attempts
+	c.Pairs += other.Pairs
+	c.Requests += other.Requests
+}
+
+// sub returns c - other, field by field.
+func (c Counters) sub(other Counters) Counters {
+	return Counters{
+		Events:   c.Events - other.Events,
+		Attempts: c.Attempts - other.Attempts,
+		Pairs:    c.Pairs - other.Pairs,
+		Requests: c.Requests - other.Requests,
+	}
+}
+
+// Instance is one live, seeded realisation of a scenario. Advance drives the
+// simulation forward; Counters can be read at any point between advances.
+type Instance interface {
+	// Advance runs the simulation for d more simulated time.
+	Advance(d sim.Duration)
+	// Counters reports the cumulative work counters.
+	Counters() Counters
+}
+
+// Scenario is a registered benchmark workload.
+type Scenario struct {
+	// Name identifies the scenario; it is embedded in BENCH_<name>.json.
+	Name string
+	// Description is a one-line summary for the CLI listing.
+	Description string
+	// Build constructs a fresh instance of the scenario for the given seed.
+	Build func(seed int64) (Instance, error)
+}
+
+// netsimInstance adapts a netsim.Network (link-layer scenarios).
+type netsimInstance struct {
+	nw *netsim.Network
+}
+
+func (in *netsimInstance) Advance(d sim.Duration) { in.nw.Run(d) }
+
+func (in *netsimInstance) Counters() Counters {
+	c := Counters{
+		Events:   in.nw.Sim.Executed(),
+		Attempts: in.nw.Sampler.Attempts(),
+	}
+	for _, l := range in.nw.Links {
+		c.Requests += l.Submitted
+		// OKs fire at both endpoints; count delivered pairs once.
+		c.Pairs += l.OKs / 2
+	}
+	return c
+}
+
+// primerPairs keeps every link saturated for the whole measurement window:
+// a standing request this large outlives any realistic benchmark duration
+// (the Lab link delivers under ten pairs per simulated second), so the
+// attempt hot path runs from the very first MHP cycle instead of waiting on
+// Poisson arrival luck.
+const primerPairs = 4096
+
+// buildNetsim wires a link-layer scenario: the given topology on the Lab
+// hardware, every link saturated by a standing measure-directly request with
+// moderate-load Poisson request churn on top.
+func buildNetsim(spec netsim.Spec) func(seed int64) (Instance, error) {
+	return func(seed int64) (Instance, error) {
+		cfg := netsim.DefaultConfig(spec, nv.ScenarioLab)
+		cfg.Seed = seed
+		nw, err := netsim.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nw.AttachTraffic(netsim.TrafficConfig{
+			Load:        0.7,
+			MaxPairs:    2,
+			MinFidelity: 0.64,
+		})
+		for _, l := range nw.Links {
+			_, code := nw.Submit(l, "A", egp.CreateRequest{
+				NumPairs:    primerPairs,
+				MinFidelity: 0.64,
+				Priority:    egp.PriorityMD,
+				PurposeID:   1,
+				Consecutive: true,
+			})
+			if code != wire.ErrNone {
+				return nil, fmt.Errorf("bench: priming link %s failed: %s", l.Name, code)
+			}
+		}
+		return &netsimInstance{nw: nw}, nil
+	}
+}
+
+// e2eInstance adapts a network.Service over a repeater chain.
+type e2eInstance struct {
+	nw  *netsim.Network
+	svc *network.Service
+}
+
+func (in *e2eInstance) Advance(d sim.Duration) {
+	in.nw.Run(d)
+	in.svc.FinishAt(in.nw.Sim.Now())
+}
+
+func (in *e2eInstance) Counters() Counters {
+	c := Counters{
+		Events:   in.nw.Sim.Executed(),
+		Attempts: in.nw.Sampler.Attempts(),
+	}
+	_, agg := in.svc.Stats()
+	c.Requests = agg.Requests
+	c.Pairs = uint64(agg.Pairs)
+	return c
+}
+
+// buildE2E wires the 4-hop end-to-end scenario: a 5-node repeater chain with
+// entanglement swapping, driven by Poisson end-to-end requests.
+func buildE2E(nodes int) func(seed int64) (Instance, error) {
+	return func(seed int64) (Instance, error) {
+		cfg := netsim.DefaultConfig(netsim.Chain(nodes), nv.ScenarioLab)
+		cfg.Seed = seed
+		cfg.HoldPairs = true
+		nw, err := netsim.NewNetwork(cfg)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := network.NewService(nw, network.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		tr := svc.AttachTraffic(network.TrafficConfig{
+			Pairs:       [][2]int{{0, nodes - 1}},
+			Load:        0.3,
+			MaxPairs:    1,
+			MinFidelity: 0.35,
+		})
+		// A standing end-to-end request keeps every hop generating and the
+		// swap engine busy for the whole window (see primerPairs).
+		if _, code := svc.Create(network.CreateRequest{
+			SrcNode:     0,
+			DstNode:     nodes - 1,
+			NumPairs:    primerPairs,
+			MinFidelity: 0.35,
+		}); code != wire.ErrNone {
+			return nil, fmt.Errorf("bench: priming e2e request failed: %s", code)
+		}
+		tr.Start()
+		return &e2eInstance{nw: nw, svc: svc}, nil
+	}
+}
+
+// Scenarios returns the scenario registry in canonical order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "single-link",
+			Description: "one heralded link (2-node chain) under MD Poisson traffic, Lab hardware",
+			Build:       buildNetsim(netsim.Chain(2)),
+		},
+		{
+			Name:        "chain-8",
+			Description: "8-node chain: 7 concurrent links on one simulator",
+			Build:       buildNetsim(netsim.Chain(8)),
+		},
+		{
+			Name:        "grid-3x3",
+			Description: "3×3 grid: 12 concurrent links on one simulator",
+			Build:       buildNetsim(netsim.Grid(3, 3)),
+		},
+		{
+			Name:        "e2e-4hop",
+			Description: "4-hop repeater chain with entanglement swapping and e2e delivery",
+			Build:       buildE2E(5),
+		},
+	}
+}
+
+// ScenarioByName looks a scenario up in the registry.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Options configures a harness run.
+type Options struct {
+	// SimSeconds is the simulated duration of every trial (default 1).
+	SimSeconds float64
+	// Trials is how many independently seeded repetitions feed the
+	// deterministic counters (default 3).
+	Trials int
+	// Seed is the base seed; trial i uses experiments.DeriveSeed(Seed, i).
+	Seed int64
+	// Parallelism is the worker count for the trial fan-out. It does not
+	// affect any reported number: the counters are deterministic and the
+	// allocation and wall-clock passes always run serially.
+	Parallelism int
+	// WallClock adds the host-dependent wall-clock section to the result.
+	// It is off by default so that the emitted JSON is byte-identical
+	// across runs and machines.
+	WallClock bool
+}
+
+// withDefaults fills in unset options.
+func (o Options) withDefaults() Options {
+	if o.SimSeconds <= 0 {
+		o.SimSeconds = 1
+	}
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// allocWarmupFraction is the fraction of a trial's simulated time used to
+// warm the allocation pass before the measured window opens: it populates
+// the sampler's distribution cache, grows the event queue and steadies the
+// protocol pipelines so allocs/attempt reflects the steady state, not setup.
+const allocWarmupFraction = 0.25
+
+// Run executes one scenario under the given options and returns its result.
+func Run(sc Scenario, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	res := Result{
+		Schema:      SchemaVersion,
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Config: RunConfig{
+			Seed:       opts.Seed,
+			Trials:     opts.Trials,
+			SimSeconds: opts.SimSeconds,
+		},
+	}
+
+	// Pass 1 — deterministic counters: fan the trials out over the worker
+	// pool; every trial is an independent simulation, so the summed counters
+	// are identical at any parallelism level.
+	counters := make([]Counters, opts.Trials)
+	errs := make([]error, opts.Trials)
+	experiments.RunIndexed(opts.Trials, opts.Parallelism, func(i int) {
+		inst, err := sc.Build(experiments.DeriveSeed(opts.Seed, uint64(i)))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		inst.Advance(sim.DurationSeconds(opts.SimSeconds))
+		counters[i] = inst.Counters()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	for _, c := range counters {
+		res.Totals.add(c)
+	}
+	simTotal := opts.SimSeconds * float64(opts.Trials)
+	res.Rates = Rates{
+		EventsPerSimSec:   round3(float64(res.Totals.Events) / simTotal),
+		AttemptsPerSimSec: round3(float64(res.Totals.Attempts) / simTotal),
+		PairsPerSimSec:    round3(float64(res.Totals.Pairs) / simTotal),
+	}
+
+	// Pass 2 — allocations: a dedicated serial trial with the GC paused, so
+	// the malloc counter deltas are attributable to the hot path and
+	// reproducible. The warmup window absorbs one-time setup cost.
+	allocs, bytes, err := measureAllocs(sc, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res.AllocsPerAttempt = allocs
+	res.BytesPerAttempt = bytes
+
+	// Pass 3 — wall clock (optional): a dedicated serial trial so the
+	// number means the same thing at any -parallel level.
+	if opts.WallClock {
+		wc, err := measureWallClock(sc, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.WallClock = &wc
+	}
+	return res, nil
+}
+
+// measureAllocs runs one serial trial and reports heap allocations and bytes
+// per entanglement attempt over the steady-state window.
+func measureAllocs(sc Scenario, opts Options) (allocsPerAttempt, bytesPerAttempt float64, err error) {
+	inst, err := sc.Build(experiments.DeriveSeed(opts.Seed, 0))
+	if err != nil {
+		return 0, 0, err
+	}
+	warmup := opts.SimSeconds * allocWarmupFraction
+	inst.Advance(sim.DurationSeconds(warmup))
+	before := inst.Counters()
+
+	// Settle the heap, then pause the GC for the measured window: background
+	// collection would otherwise interleave its own bookkeeping with the
+	// workload and make the malloc deltas depend on heap history (and thus
+	// on whatever ran before this pass).
+	runtime.GC()
+	restore := debug.SetGCPercent(-1)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	inst.Advance(sim.DurationSeconds(opts.SimSeconds - warmup))
+	runtime.ReadMemStats(&m1)
+	debug.SetGCPercent(restore)
+
+	after := inst.Counters()
+	window := after.sub(before)
+	if window.Attempts == 0 {
+		return 0, 0, fmt.Errorf("bench: scenario %s made no entanglement attempts in the measured window", sc.Name)
+	}
+	allocsPerAttempt = round3(float64(m1.Mallocs-m0.Mallocs) / float64(window.Attempts))
+	bytesPerAttempt = round3(float64(m1.TotalAlloc-m0.TotalAlloc) / float64(window.Attempts))
+	return allocsPerAttempt, bytesPerAttempt, nil
+}
+
+// wallClockPasses is how many timed repetitions measureWallClock runs. The
+// fastest pass is reported: scheduler jitter and noisy neighbours only ever
+// add time, so the minimum is the most faithful (and most stable) sample —
+// a single sub-second measurement would be far too noisy to gate at 20%.
+const wallClockPasses = 3
+
+// measureWallClock times serial end-to-end trials and reports the fastest.
+func measureWallClock(sc Scenario, opts Options) (WallClock, error) {
+	best := WallClock{}
+	for pass := 0; pass < wallClockPasses; pass++ {
+		inst, err := sc.Build(experiments.DeriveSeed(opts.Seed, 0))
+		if err != nil {
+			return WallClock{}, err
+		}
+		start := time.Now()
+		inst.Advance(sim.DurationSeconds(opts.SimSeconds))
+		elapsed := time.Since(start).Seconds()
+		c := inst.Counters()
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
+		if pass == 0 || elapsed < best.WallSeconds {
+			best = WallClock{
+				WallSeconds:      elapsed,
+				EventsPerWallSec: round3(float64(c.Events) / elapsed),
+				SimSecPerWallSec: round3(opts.SimSeconds / elapsed),
+			}
+		}
+	}
+	best.WallSeconds = round3(best.WallSeconds)
+	return best, nil
+}
+
+// round3 rounds to three decimal places so serialised rates do not carry
+// meaningless trailing precision.
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -209,6 +209,10 @@ type Channel struct {
 	delay    sim.Duration
 	lossProb float64
 	deliver  func(Message)
+	// onDeliver is the delivery trampoline handed to the simulator: built
+	// once so Send schedules a pooled argument-carrying event instead of
+	// allocating a capturing closure per frame.
+	onDeliver sim.ArgHandler
 
 	sent      uint64
 	delivered uint64
@@ -224,7 +228,14 @@ func NewChannel(name string, s *sim.Simulator, delay sim.Duration, lossProb floa
 	if deliver == nil {
 		panic("classical: nil delivery handler")
 	}
-	return &Channel{Name: name, simul: s, delay: delay, lossProb: lossProb, deliver: deliver}
+	c := &Channel{Name: name, simul: s, delay: delay, lossProb: lossProb, deliver: deliver}
+	c.onDeliver = func(payload any) {
+		c.delivered++
+		// The event fires exactly delay after Send, so the send time is
+		// recovered from the clock instead of being carried per frame.
+		c.deliver(Message{Payload: payload, SentAt: c.simul.Now().Add(-c.delay)})
+	}
+	return c
 }
 
 // Delay returns the one-way propagation delay of the channel.
@@ -243,18 +254,16 @@ func (c *Channel) SetLossProbability(p float64) {
 func (c *Channel) LossProbability() float64 { return c.lossProb }
 
 // Send transmits a payload. The frame is either dropped (with the configured
-// probability) or delivered to the handler after the propagation delay.
+// probability) or delivered to the handler after the propagation delay. The
+// hot path allocates nothing: the payload is already boxed at the call site
+// and rides the pooled event straight into the delivery trampoline.
 func (c *Channel) Send(payload any) {
 	c.sent++
 	if c.simul.RNG().Bernoulli(c.lossProb) {
 		c.dropped++
 		return
 	}
-	msg := Message{Payload: payload, SentAt: c.simul.Now()}
-	c.simul.Schedule(c.delay, func() {
-		c.delivered++
-		c.deliver(msg)
-	})
+	c.simul.ScheduleArg(c.delay, c.onDeliver, payload)
 }
 
 // Stats returns how many frames were sent, delivered and dropped so far.

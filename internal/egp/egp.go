@@ -154,6 +154,10 @@ type EGP struct {
 	// Completed or expired queue IDs we may still receive replies for.
 	retired map[wire.AbsoluteQueueID]bool
 
+	// reapScratch is the reusable expired-item collection buffer of
+	// reapExpired, which runs every MHP cycle.
+	reapScratch []*QueueItem
+
 	// Pending EXPIRE exchanges awaiting acknowledgement.
 	pendingExpires map[wire.AbsoluteQueueID]sim.EventID
 
@@ -357,16 +361,24 @@ func (e *EGP) emitErrorRaw(createID uint16, priority int, code wire.EGPError) {
 func (e *EGP) localOrigin(item *QueueItem) bool { return item.OriginMaster == e.cfg.IsMaster }
 
 // reapExpired removes timed-out queue items, emitting TIMEOUT errors for
-// locally originated requests.
+// locally originated requests. It runs every MHP cycle, so the scan iterates
+// the lanes in place and only collects into the reusable scratch slice when
+// something actually expired — the common case allocates nothing.
 func (e *EGP) reapExpired() {
-	for _, it := range e.queue.AllItems() {
-		if it.Expired(e.cycle) {
-			e.queue.Remove(it.ID)
-			e.retired[it.ID] = true
-			if e.localOrigin(it) {
-				e.errCount++
-				e.emitError(it, wire.ErrTimeout)
+	e.reapScratch = e.reapScratch[:0]
+	for p := 0; p < NumQueues; p++ {
+		for _, it := range e.queue.Items(p) {
+			if it.Expired(e.cycle) {
+				e.reapScratch = append(e.reapScratch, it)
 			}
+		}
+	}
+	for _, it := range e.reapScratch {
+		e.queue.Remove(it.ID)
+		e.retired[it.ID] = true
+		if e.localOrigin(it) {
+			e.errCount++
+			e.emitError(it, wire.ErrTimeout)
 		}
 	}
 }

@@ -20,16 +20,22 @@ type Scheduler interface {
 	Name() string
 }
 
-// readyItems returns the items of one lane that may be served at the cycle,
-// in queue order.
-func readyItems(q *DistributedQueue, priority int, cycle uint64) []*QueueItem {
-	var out []*QueueItem
+// isReady reports whether an item may be served at the cycle. Schedulers run
+// once per MHP cycle, so they iterate the lanes in place instead of
+// materialising ready-item slices.
+func isReady(it *QueueItem, cycle uint64) bool {
+	return it.Ready(cycle) && it.PairsLeft > 0
+}
+
+// firstReady returns the first servable item of one lane in queue order, or
+// nil when none is ready.
+func firstReady(q *DistributedQueue, priority int, cycle uint64) *QueueItem {
 	for _, it := range q.Items(priority) {
-		if it.Ready(cycle) && it.PairsLeft > 0 {
-			out = append(out, it)
+		if isReady(it, cycle) {
+			return it
 		}
 	}
-	return out
+	return nil
 }
 
 // FCFSScheduler serves requests strictly in arrival order across all
@@ -52,8 +58,8 @@ func (s *FCFSScheduler) Stamp(item *QueueItem) {}
 func (s *FCFSScheduler) Next(q *DistributedQueue, cycle uint64) *QueueItem {
 	var best *QueueItem
 	for priority := 0; priority < NumQueues; priority++ {
-		for _, it := range readyItems(q, priority, cycle) {
-			if best == nil || lessFCFS(it, best) {
+		for _, it := range q.Items(priority) {
+			if isReady(it, cycle) && (best == nil || lessFCFS(it, best)) {
 				best = it
 			}
 		}
@@ -144,21 +150,21 @@ func maxU32(v uint32, min uint32) uint32 {
 // with the smallest virtual finish time.
 func (s *WFQScheduler) Next(q *DistributedQueue, cycle uint64) *QueueItem {
 	if s.strictPriority {
-		if nl := readyItems(q, PriorityNL, cycle); len(nl) > 0 {
-			return nl[0]
+		if nl := firstReady(q, PriorityNL, cycle); nl != nil {
+			return nl
 		}
 	}
 	var best *QueueItem
-	for _, priority := range []int{PriorityCK, PriorityMD} {
-		for _, it := range readyItems(q, priority, cycle) {
-			if best == nil || lessWFQ(it, best) {
+	for _, priority := range [...]int{PriorityCK, PriorityMD} {
+		for _, it := range q.Items(priority) {
+			if isReady(it, cycle) && (best == nil || lessWFQ(it, best)) {
 				best = it
 			}
 		}
 	}
 	if best == nil && !s.strictPriority {
-		if nl := readyItems(q, PriorityNL, cycle); len(nl) > 0 {
-			return nl[0]
+		if nl := firstReady(q, PriorityNL, cycle); nl != nil {
+			return nl
 		}
 	}
 	// Advance virtual time to the served item's stamp so later arrivals do

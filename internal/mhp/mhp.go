@@ -429,7 +429,10 @@ func (m *Midpoint) HandleGEN(msg classical.Message) {
 	if !ok {
 		return
 	}
-	if _, err := wire.DecodeGEN(payload.frame); err != nil {
+	// Decode once on arrival; the decoded frame serves validation, the
+	// timeout path and the matching path below.
+	genSelf, err := wire.DecodeGEN(payload.frame)
+	if err != nil {
 		return
 	}
 	other := "A"
@@ -449,10 +452,10 @@ func (m *Midpoint) HandleGEN(msg classical.Message) {
 				delete(m.waiting[payload.node], payload.cycle)
 				if len(m.waiting[other]) > 0 {
 					m.timeMismatch++
-					m.sendError(payload, wire.ErrTimeMismatch)
+					m.sendError(payload.node, genSelf.QueueID, wire.ErrTimeMismatch)
 				} else {
 					m.noOther++
-					m.sendError(payload, wire.ErrNoMessageOther)
+					m.sendError(payload.node, genSelf.QueueID, wire.ErrNoMessageOther)
 				}
 			}
 		})
@@ -460,7 +463,7 @@ func (m *Midpoint) HandleGEN(msg classical.Message) {
 	}
 	delete(m.waiting[other], peer.cycle)
 
-	genSelf, _ := wire.DecodeGEN(payload.frame)
+	// The peer frame was validated when it arrived, so its decode cannot fail.
 	genPeer, _ := wire.DecodeGEN(peer.frame)
 
 	// Queue-ID consistency check.
@@ -544,12 +547,8 @@ func (m *Midpoint) sendReply(node string, outcome wire.MHPOutcome, seq uint16, o
 }
 
 // sendError sends an error REPLY to the single node that sent a GEN.
-func (m *Midpoint) sendError(p genPayload, code wire.MHPOutcome) {
-	gen, err := wire.DecodeGEN(p.frame)
-	if err != nil {
-		return
-	}
-	m.sendReply(p.node, code, 0, gen.QueueID, wire.AbsoluteQueueID{})
+func (m *Midpoint) sendError(node string, queueID wire.AbsoluteQueueID, code wire.MHPOutcome) {
+	m.sendReply(node, code, 0, queueID, wire.AbsoluteQueueID{})
 }
 
 // sendErrorBoth sends an error REPLY to both nodes.

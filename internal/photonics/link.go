@@ -53,6 +53,9 @@ type AttemptResult struct {
 	// Outcome.Success() is true; on a false-positive herald (dark count)
 	// it still holds the collapsed electron state, which is then of low
 	// fidelity — exactly the error source the protocol must tolerate.
+	// The cached sampler (LinkSampler.Sample) leaves it nil on failed
+	// attempts, since the vast majority of attempts fail and nothing
+	// downstream reads the state of a failure.
 	State *quantum.State
 	// IdealPattern and ObservedPattern record the click pattern before and
 	// after detector noise, for diagnostics and tests.

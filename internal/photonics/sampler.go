@@ -18,6 +18,16 @@ type LinkSampler struct {
 	link *HeraldedLink
 
 	cache map[alphaKey]*attemptDistribution
+
+	// attempts counts how many times Sample has been called; the benchmark
+	// harness divides allocation and wall-clock deltas by it.
+	attempts uint64
+
+	// uBuf is the reusable batch-draw buffer of Sample. Handing a slice of a
+	// local array through the batchSource interface would force the array to
+	// the heap on every attempt; a sampler is confined to one simulator
+	// thread, so a single persistent buffer is safe.
+	uBuf [5]float64
 }
 
 type alphaKey struct{ a, b float64 }
@@ -26,6 +36,7 @@ type alphaKey struct{ a, b float64 }
 // ideal click pattern and the conditional electron-electron state for each.
 type attemptDistribution struct {
 	probs  [4]float64        // indexed by ClickPattern
+	total  float64           // sum of probs in index order, cached for sampling
 	states [4]*quantum.State // conditional electron states, nil when prob≈0
 }
 
@@ -36,6 +47,9 @@ func NewLinkSampler(link *HeraldedLink) *LinkSampler {
 
 // Link returns the underlying heralded link model.
 func (s *LinkSampler) Link() *HeraldedLink { return s.link }
+
+// Attempts returns how many entanglement attempts have been sampled.
+func (s *LinkSampler) Attempts() uint64 { return s.attempts }
 
 // distribution computes (or returns the cached) branch distribution for the
 // given bright-state populations.
@@ -110,6 +124,9 @@ func (s *LinkSampler) computeDistribution(alphaA, alphaB float64) *attemptDistri
 			d.states[br.pattern] = collapsed.PartialTrace(qPhotonA, qPhotonB)
 		}
 	}
+	for _, p := range d.probs {
+		d.total += p
+	}
 	return d
 }
 
@@ -169,22 +186,39 @@ func (s *LinkSampler) ConditionalState(alphaA, alphaB float64, pattern ClickPatt
 	return st.Copy()
 }
 
+// batchSource is the optional fast path of RandomSource: sources that can
+// hand out several uniforms at once (sim.RNG does) let Sample draw its five
+// per-attempt samples in one call instead of five interface calls.
+type batchSource interface {
+	Float64Batch(dst []float64)
+}
+
 // Sample performs one attempt: the ideal click pattern is drawn from the
 // cached distribution, detector noise is applied, and the conditional
-// electron state for the ideal pattern is returned. The observed outcome is
-// what the midpoint announces; the state reflects the true physical
-// collapse, so dark-count false positives naturally yield low-fidelity
-// pairs.
+// electron state for the ideal pattern is returned on heralded successes.
+// The observed outcome is what the midpoint announces; the state reflects
+// the true physical collapse, so dark-count false positives naturally yield
+// low-fidelity pairs. Failed attempts carry a nil State: nothing consumes
+// the post-measurement state of a failure, and attempts outnumber successes
+// by orders of magnitude, so materialising a copy per failure would dominate
+// the allocation profile of long runs.
 func (s *LinkSampler) Sample(alphaA, alphaB float64, rng RandomSource) AttemptResult {
+	s.attempts++
 	d := s.distribution(alphaA, alphaB)
-	u := rng.Float64()
-	total := 0.0
-	for _, p := range d.probs {
-		total += p
+	// One attempt consumes exactly five uniforms, in a fixed order: the
+	// branch selector, then the four detector-noise draws. Batching them
+	// preserves the stream order of the one-at-a-time draws exactly.
+	u := &s.uBuf
+	if batch, ok := rng.(batchSource); ok {
+		batch.Float64Batch(u[:])
+	} else {
+		for i := range u {
+			u[i] = rng.Float64()
+		}
 	}
 	ideal := ClickNone
-	if total > 0 {
-		x := u * total
+	if d.total > 0 {
+		x := u[0] * d.total
 		for pattern, p := range d.probs {
 			x -= p
 			if x < 0 {
@@ -193,15 +227,18 @@ func (s *LinkSampler) Sample(alphaA, alphaB float64, rng RandomSource) AttemptRe
 			}
 		}
 	}
-	observed := ApplyDetectorNoise(ideal, s.link.Detectors, rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+	observed := ApplyDetectorNoise(ideal, s.link.Detectors, u[1], u[2], u[3], u[4])
+	outcome := OutcomeFromClicks(observed)
 	var st *quantum.State
-	if d.states[ideal] != nil {
-		st = d.states[ideal].Copy()
-	} else {
-		st = quantum.NewState(2)
+	if outcome.Success() {
+		if d.states[ideal] != nil {
+			st = d.states[ideal].Copy()
+		} else {
+			st = quantum.NewState(2)
+		}
 	}
 	return AttemptResult{
-		Outcome:         OutcomeFromClicks(observed),
+		Outcome:         outcome,
 		State:           st,
 		IdealPattern:    ideal,
 		ObservedPattern: observed,

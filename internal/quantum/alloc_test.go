@@ -1,0 +1,56 @@
+package quantum
+
+import "testing"
+
+// In-place operator application must not allocate once a state's scratch
+// buffers exist. These pins protect the per-attempt hot path: every gate,
+// Kraus map, expectation and collapse in the simulation funnels through
+// these four entry points.
+func TestOperatorApplicationAllocFree(t *testing.T) {
+	s := NewBellState(PsiPlus)
+	x := PauliX()
+	kraus := DephasingKraus(0.1)
+	proj := ProjectorZ(0)
+	s.ApplyUnitary(x, 0) // allocate the scratch buffers once
+
+	if a := testing.AllocsPerRun(100, func() { s.ApplyUnitary(x, 0) }); a != 0 {
+		t.Fatalf("ApplyUnitary allocated %v objects per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { s.ApplyKraus(kraus, 0) }); a != 0 {
+		t.Fatalf("ApplyKraus allocated %v objects per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { _ = s.ExpectationReal(proj, 0) }); a != 0 {
+		t.Fatalf("ExpectationReal allocated %v objects per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { _ = s.Collapse(proj, 0) }); a != 0 {
+		t.Fatalf("Collapse allocated %v objects per run, want 0", a)
+	}
+}
+
+// Two-qubit operators on a larger state (the swap hot path) must be
+// allocation-free too.
+func TestTwoQubitApplicationAllocFree(t *testing.T) {
+	s := NewBellState(PsiPlus).Tensor(NewBellState(PhiPlus))
+	cnot := CNOT()
+	s.ApplyUnitary(cnot, 1, 2)
+	if a := testing.AllocsPerRun(100, func() { s.ApplyUnitary(cnot, 1, 2) }); a != 0 {
+		t.Fatalf("two-qubit ApplyUnitary allocated %v objects per run, want 0", a)
+	}
+}
+
+// The scratch buffers belong to exactly one state: copies start fresh and
+// mutating a copy must not disturb the original (aliasing through a shared
+// buffer would).
+func TestScratchNotSharedByCopy(t *testing.T) {
+	s := NewBellState(PsiPlus)
+	s.ApplyUnitary(PauliX(), 0)
+	s.ApplyUnitary(PauliX(), 0) // back to Ψ+
+	c := s.Copy()
+	c.ApplyUnitary(PauliZ(), 0)
+	if f := s.BellFidelity(PsiPlus); f < 1-1e-12 {
+		t.Fatalf("mutating a copy disturbed the original: F = %v", f)
+	}
+	if f := c.BellFidelity(PsiMinus); f < 1-1e-12 {
+		t.Fatalf("copy did not evolve independently: F = %v", f)
+	}
+}

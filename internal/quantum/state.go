@@ -159,9 +159,97 @@ func (m Matrix) Equalish(other Matrix, tol float64) bool {
 }
 
 // State is a density matrix over NumQubits qubits.
+//
+// Operator application (ApplyUnitary, ApplyKraus, Collapse, ExpectationReal)
+// runs in place over a set of per-state scratch buffers, so the steady-state
+// hot path — millions of gate applications per simulated second across the
+// stack — performs no heap allocation after the first operation on a state.
+// The arithmetic (loop order, zero-skipping, accumulation order) is exactly
+// the out-of-place formulation it replaced, so results are bit-identical.
 type State struct {
 	numQubits int
 	rho       Matrix
+	// buf holds the reusable work buffers; nil until the first operator
+	// application, and never shared between states (Copy starts fresh).
+	buf *scratch
+}
+
+// scratch is the set of working buffers for in-place operator application on
+// one state: the expanded full-space operator, its conjugate transpose, the
+// two matrix-product intermediates, a Kraus accumulator, and the per-basis
+// index tables of the current expansion.
+type scratch struct {
+	full Matrix // operator embedded in the full 2^n space
+	dag  Matrix // conjugate transpose of full
+	t1   Matrix // full·ρ
+	t2   Matrix // (full·ρ)·full†
+	acc  Matrix // Σ_K KρK† accumulator for Kraus maps
+	sub  []int  // subIndex(i) for every full-space basis index i
+	rest []int  // maskOut(i) for every full-space basis index i
+}
+
+// ensureScratch returns the state's scratch buffers, allocating them on
+// first use.
+func (s *State) ensureScratch() *scratch {
+	if s.buf == nil {
+		dim := s.Dim()
+		s.buf = &scratch{
+			full: NewMatrix(dim),
+			dag:  NewMatrix(dim),
+			t1:   NewMatrix(dim),
+			t2:   NewMatrix(dim),
+			acc:  NewMatrix(dim),
+			sub:  make([]int, dim),
+			rest: make([]int, dim),
+		}
+	}
+	return s.buf
+}
+
+// zeroData clears a scratch matrix before it is accumulated into.
+func zeroData(m Matrix) {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// mulInto computes dst = a·b with the same loop structure (and therefore the
+// same floating-point accumulation order and zero-skipping) as Matrix.Mul.
+// dst must be pre-zeroed and must not alias a or b.
+func mulInto(dst, a, b Matrix) {
+	n := a.N
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			v := a.Data[i*n+k]
+			if v == 0 {
+				continue
+			}
+			row := b.Data[k*n:]
+			outRow := dst.Data[i*n:]
+			for j := 0; j < n; j++ {
+				outRow[j] += v * row[j]
+			}
+		}
+	}
+}
+
+// daggerInto writes the conjugate transpose of m into dst.
+func daggerInto(dst, m Matrix) {
+	n := m.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst.Data[j*n+i] = cmplx.Conj(m.Data[i*n+j])
+		}
+	}
+}
+
+// sandwichInto computes b.t2 = full·ρ·full† through the scratch buffers.
+func (s *State) sandwichInto(b *scratch) {
+	zeroData(b.t1)
+	mulInto(b.t1, b.full, s.rho)
+	daggerInto(b.dag, b.full)
+	zeroData(b.t2)
+	mulInto(b.t2, b.t1, b.dag)
 }
 
 // NewState builds the pure all-|0⟩ state on n qubits.
@@ -260,14 +348,14 @@ func (s *State) Tensor(other *State) *State {
 	return &State{numQubits: n, rho: s.rho.Kron(other.rho)}
 }
 
-// expandOperator embeds a k-qubit operator acting on the listed qubits into
-// the full 2^n dimensional space.
-func (s *State) expandOperator(op Matrix, qubits []int) Matrix {
+// expandInto embeds a k-qubit operator acting on the listed qubits into the
+// full 2^n dimensional space, writing into the scratch buffers' full matrix.
+func (s *State) expandInto(b *scratch, op Matrix, qubits []int) {
 	k := len(qubits)
 	if op.N != 1<<k {
 		panic(fmt.Sprintf("quantum: operator dimension %d does not match %d qubits", op.N, k))
 	}
-	seen := map[int]bool{}
+	var seen [MaxQubits]bool
 	for _, q := range qubits {
 		if q < 0 || q >= s.numQubits {
 			panic(fmt.Sprintf("quantum: qubit index %d out of range", q))
@@ -279,21 +367,25 @@ func (s *State) expandOperator(op Matrix, qubits []int) Matrix {
 	}
 	n := s.numQubits
 	dim := 1 << n
-	full := NewMatrix(dim)
+	// Tabulate the sub-space index and the non-target remainder of every
+	// basis index once, instead of recomputing them in the inner loop.
+	for i := 0; i < dim; i++ {
+		b.sub[i] = subIndex(i, qubits, n)
+		b.rest[i] = maskOut(i, qubits, n)
+	}
+	zeroData(b.full)
 	// For every pair of full-space basis states (i, j), the matrix element is
 	// op[sub(i), sub(j)] when the non-target qubits agree, else 0.
 	for i := 0; i < dim; i++ {
-		si := subIndex(i, qubits, n)
-		rest := maskOut(i, qubits, n)
+		si := b.sub[i]
+		rest := b.rest[i]
 		for j := 0; j < dim; j++ {
-			if maskOut(j, qubits, n) != rest {
+			if b.rest[j] != rest {
 				continue
 			}
-			sj := subIndex(j, qubits, n)
-			full.Data[i*dim+j] = op.Data[si*op.N+sj]
+			b.full.Data[i*dim+j] = op.Data[si*op.N+b.sub[j]]
 		}
 	}
-	return full
 }
 
 // subIndex extracts the bits of the listed qubits of basis index i into a
@@ -315,32 +407,57 @@ func maskOut(i int, qubits []int, n int) int {
 	return i
 }
 
-// ApplyUnitary applies a unitary acting on the listed qubits.
+// ApplyUnitary applies a unitary acting on the listed qubits, in place:
+// ρ → UρU†.
 func (s *State) ApplyUnitary(u Matrix, qubits ...int) {
-	full := s.expandOperator(u, qubits)
-	s.rho = full.Mul(s.rho).Mul(full.Dagger())
+	b := s.ensureScratch()
+	s.expandInto(b, u, qubits)
+	zeroData(b.t1)
+	mulInto(b.t1, b.full, s.rho)
+	daggerInto(b.dag, b.full)
+	// ρ is fully consumed by the first product, so it doubles as the output
+	// buffer of the second.
+	zeroData(s.rho)
+	mulInto(s.rho, b.t1, b.dag)
 }
 
 // ApplyKraus applies a completely positive map given by Kraus operators
-// acting on the listed qubits: ρ → Σ K ρ K†.
+// acting on the listed qubits, in place: ρ → Σ K ρ K†.
 func (s *State) ApplyKraus(kraus []Matrix, qubits ...int) {
-	dim := s.Dim()
-	out := NewMatrix(dim)
+	b := s.ensureScratch()
+	zeroData(b.acc)
 	for _, k := range kraus {
-		full := s.expandOperator(k, qubits)
-		term := full.Mul(s.rho).Mul(full.Dagger())
-		for i := range out.Data {
-			out.Data[i] += term.Data[i]
+		s.expandInto(b, k, qubits)
+		s.sandwichInto(b)
+		for i := range b.acc.Data {
+			b.acc.Data[i] += b.t2.Data[i]
 		}
 	}
-	s.rho = out
+	copy(s.rho.Data, b.acc.Data)
 }
 
 // ExpectationReal returns Tr(op·ρ) (real part) for an operator on the listed
-// qubits.
+// qubits. Only the diagonal of the product is formed; each diagonal entry
+// accumulates in the same order as a full row-times-column product would,
+// so the result is bit-identical to real((op·ρ).Trace()).
 func (s *State) ExpectationReal(op Matrix, qubits ...int) float64 {
-	full := s.expandOperator(op, qubits)
-	return real(full.Mul(s.rho).Trace())
+	b := s.ensureScratch()
+	s.expandInto(b, op, qubits)
+	n := s.Dim()
+	var t complex128
+	for i := 0; i < n; i++ {
+		var d complex128
+		row := b.full.Data[i*n:]
+		for k := 0; k < n; k++ {
+			a := row[k]
+			if a == 0 {
+				continue
+			}
+			d += a * s.rho.Data[k*n+i]
+		}
+		t += d
+	}
+	return real(t)
 }
 
 // PartialTrace traces out the listed qubits and returns the reduced state on
@@ -427,17 +544,17 @@ func (s *State) Probability(e Matrix, qubits ...int) float64 {
 // probability is numerically zero the state is left unchanged and 0 is
 // returned.
 func (s *State) Collapse(kraus Matrix, qubits ...int) float64 {
-	full := s.expandOperator(kraus, qubits)
-	candidate := full.Mul(s.rho).Mul(full.Dagger())
-	p := real(candidate.Trace())
+	b := s.ensureScratch()
+	s.expandInto(b, kraus, qubits)
+	s.sandwichInto(b)
+	p := real(b.t2.Trace())
 	if p <= 1e-15 {
 		return 0
 	}
 	inv := complex(1/p, 0)
-	for i := range candidate.Data {
-		candidate.Data[i] *= inv
+	for i := range b.t2.Data {
+		s.rho.Data[i] = b.t2.Data[i] * inv
 	}
-	s.rho = candidate
 	return p
 }
 

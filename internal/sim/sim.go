@@ -65,24 +65,49 @@ func DurationMicroseconds(us float64) Duration { return Duration(us * float64(Mi
 // Handler is a callback executed when an event fires.
 type Handler func()
 
-// event is a single scheduled callback.
+// ArgHandler is a callback executed with the argument it was scheduled with.
+// Hot paths that deliver a value into a fixed handler (e.g. one classical
+// message into one channel's delivery function) use ScheduleArg with a
+// handler built once, instead of allocating a fresh capturing closure per
+// event.
+type ArgHandler func(arg any)
+
+// event is a single scheduled callback. Event structs are pooled: once an
+// event has fired (or been compacted away) its struct is recycled by the
+// owning simulator, so the hot scheduling path allocates nothing in steady
+// state. The gen counter is bumped on every recycle so that stale EventIDs
+// held by callers can never cancel an unrelated reuse of the same struct.
 type event struct {
 	at       Time
 	seq      uint64 // insertion order, breaks ties deterministically
+	gen      uint64 // incarnation counter, guards pooled reuse
 	fn       Handler
+	argFn    ArgHandler // set instead of fn for argument-carrying events
+	arg      any
 	canceled bool
 	index    int // heap index
 }
 
 // EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+type EventID struct {
+	s   *Simulator
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. When cancellations accumulate beyond
+// half the pending queue the simulator compacts them out immediately (see
+// Simulator.compact), so Ticker-stop/Cancel churn cannot grow the heap
+// unboundedly on long runs.
 func (id EventID) Cancel() {
-	if id.ev != nil {
-		id.ev.canceled = true
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen || ev.canceled {
+		return
 	}
+	ev.canceled = true
+	id.s.canceledPending++
+	id.s.maybeCompact()
 }
 
 // eventQueue is a min-heap of events ordered by (time, sequence).
@@ -130,6 +155,81 @@ type Simulator struct {
 	stopped bool
 	// executed counts events that have fired since construction.
 	executed uint64
+	// free is the recycled-event pool; see the event type.
+	free []*event
+	// canceledPending counts cancelled events still resident in the queue;
+	// once they outnumber the live ones the queue is compacted.
+	canceledPending int
+	// compactions counts how many times the queue was compacted.
+	compactions uint64
+}
+
+// compactMinLen is the queue size below which compaction is not worth the
+// rebuild: popping a few dead events is cheaper than re-heapifying.
+const compactMinLen = 64
+
+// maybeCompact rebuilds the queue without its cancelled events once they
+// outnumber the live ones. Pop order is unaffected: events are totally
+// ordered by (time, sequence), so any heap over the same live set pops
+// identically.
+func (s *Simulator) maybeCompact() {
+	if s.canceledPending*2 <= len(s.queue) || len(s.queue) < compactMinLen {
+		return
+	}
+	live := s.queue[:0]
+	for _, ev := range s.queue {
+		if ev.canceled {
+			s.recycle(ev)
+			continue
+		}
+		ev.index = len(live)
+		live = append(live, ev)
+	}
+	// Clear the tail so recycled events are not retained by the backing array.
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	heap.Init(&s.queue)
+	s.canceledPending = 0
+	s.compactions++
+}
+
+// Compactions reports how many times cancelled events were compacted out of
+// the queue.
+func (s *Simulator) Compactions() uint64 { return s.compactions }
+
+// CanceledPending reports how many cancelled events are still resident in
+// the queue (they are skipped when popped, or removed by compaction).
+func (s *Simulator) CanceledPending() int { return s.canceledPending }
+
+// newEvent returns a pooled (or fresh) event initialised for scheduling.
+func (s *Simulator) newEvent(at Time, fn Handler) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = s.nextSeq
+	ev.fn = fn
+	ev.canceled = false
+	s.nextSeq++
+	return ev
+}
+
+// recycle returns a popped (or compacted) event to the pool, invalidating
+// every EventID that still points at it.
+func (s *Simulator) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	ev.index = -1
+	s.free = append(s.free, ev)
 }
 
 // New creates a simulator whose random number generator is seeded with seed.
@@ -165,10 +265,24 @@ func (s *Simulator) ScheduleAt(at Time, fn Handler) EventID {
 	if at < s.now {
 		at = s.now
 	}
-	ev := &event{at: at, seq: s.nextSeq, fn: fn}
-	s.nextSeq++
+	ev := s.newEvent(at, fn)
 	heap.Push(&s.queue, ev)
-	return EventID{ev: ev}
+	return EventID{s: s, ev: ev, gen: ev.gen}
+}
+
+// ScheduleArg registers fn to run after delay with the given argument. It
+// behaves exactly like Schedule but carries the argument in the pooled event
+// itself, so callers with a long-lived handler avoid allocating a capturing
+// closure per event.
+func (s *Simulator) ScheduleArg(delay Duration, fn ArgHandler, arg any) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := s.newEvent(s.now.Add(delay), nil)
+	ev.argFn = fn
+	ev.arg = arg
+	heap.Push(&s.queue, ev)
+	return EventID{s: s, ev: ev, gen: ev.gen}
 }
 
 // Stop halts the simulation; Run and RunUntil return promptly after the
@@ -184,11 +298,22 @@ func (s *Simulator) step(limit Time) bool {
 		}
 		heap.Pop(&s.queue)
 		if next.canceled {
+			s.canceledPending--
+			s.recycle(next)
 			continue
 		}
+		fn, argFn, arg := next.fn, next.argFn, next.arg
 		s.now = next.at
 		s.executed++
-		next.fn()
+		// Recycle before running: the callback may schedule new events, which
+		// can then reuse this struct immediately (stale EventIDs are
+		// gen-guarded).
+		s.recycle(next)
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -261,6 +386,16 @@ func NewRNG(seed int64) *RNG {
 
 // Float64 returns a uniform sample in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Float64Batch fills dst with uniform samples in [0,1), drawn in the same
+// order as repeated Float64 calls. Hot loops that need several samples per
+// iteration (the per-attempt optical sampling draws five) use it to amortise
+// the interface-call overhead of drawing one at a time.
+func (g *RNG) Float64Batch(dst []float64) {
+	for i := range dst {
+		dst[i] = g.r.Float64()
+	}
+}
 
 // Intn returns a uniform sample in [0,n).
 func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
