@@ -175,6 +175,43 @@ func BenchmarkCachedOpticalSample(b *testing.B) {
 	}
 }
 
+// The pair-backend micro-benchmarks measure one full pair lifecycle —
+// herald, storage decoherence on both sides, per-attempt dephasing, swap
+// with BSM gate noise, Pauli-frame correction, fidelity read — on each
+// PairState implementation. The Bell-diagonal fast path replaces every
+// complex matrix operation with O(1) coefficient arithmetic.
+func pairLifecycle(left, right quantum.PairState) float64 {
+	electron := quantum.T1T2Params{T1: 2.86e-3, T2: 1.00e-3}
+	left.ApplyMemoryNoise(0, 50e-6, electron)
+	left.ApplyMemoryNoise(1, 20e-6, electron)
+	left.ApplyDephasing(1, 0.002)
+	right.ApplyMemoryNoise(0, 30e-6, electron)
+	far, outcome := left.SwapWith(right, 1, 0, 0.98, 0.42)
+	far.ApplyPauli(1, quantum.CorrectionPauliOp(quantum.SwappedBell(quantum.PsiPlus, quantum.PsiPlus, outcome), quantum.PsiPlus))
+	return far.BellFidelity(quantum.PsiPlus)
+}
+
+func BenchmarkPairLifecycleDense(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		left := quantum.WernerState(quantum.PsiPlus, 0.9)
+		right := quantum.WernerState(quantum.PsiPlus, 0.87)
+		_ = pairLifecycle(left, right)
+	}
+}
+
+func BenchmarkPairLifecycleBellDiag(b *testing.B) {
+	b.ReportAllocs()
+	left := quantum.NewBellDiagWerner(quantum.PsiPlus, 0.9)
+	right := quantum.NewBellDiagWerner(quantum.PsiPlus, 0.87)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		left.SetCoefficients([4]float64{0.1 / 3, 0.1 / 3, 0.9, 0.1 / 3})
+		right.SetCoefficients([4]float64{0.13 / 3, 0.13 / 3, 0.87, 0.13 / 3})
+		_ = pairLifecycle(left, right)
+	}
+}
+
 func BenchmarkTwoQubitKraus(b *testing.B) {
 	kraus := quantum.DephasingKraus(0.1)
 	b.ReportAllocs()

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/quantum"
 )
 
 func main() {
@@ -47,8 +48,15 @@ func main() {
 		wallclock = flag.Bool("wallclock", false, "add the host-dependent wall-clock section (makes the JSON machine-specific)")
 		baseline  = flag.String("baseline", "", "baseline directory to gate against (fails on regression)")
 		gate      = flag.Float64("gate", 0.20, "allowed relative regression vs the baseline (0.20 = 20%)")
+		backend   = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) Bell-diagonal fast path); $REPRO_BACKEND sets the default")
 	)
 	flag.Parse()
+
+	be, err := quantum.ResolveBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, sc := range bench.Scenarios() {
@@ -78,6 +86,7 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallel,
 		WallClock:   *wallclock,
+		Backend:     be,
 	}
 
 	columns := []string{"scenario", "events", "attempts", "pairs", "events/sim-s", "pairs/sim-s", "allocs/attempt", "bytes/attempt"}
@@ -86,7 +95,7 @@ func main() {
 	}
 	table := experiments.Table{
 		ID:      "bench",
-		Caption: fmt.Sprintf("%d trial(s) x %.2f simulated second(s), seed %d", opts.Trials, opts.SimSeconds, opts.Seed),
+		Caption: fmt.Sprintf("%d trial(s) x %.2f simulated second(s), seed %d, %s backend", opts.Trials, opts.SimSeconds, opts.Seed, be),
 		Columns: columns,
 	}
 

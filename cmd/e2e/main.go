@@ -27,6 +27,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/nv"
+	"repro/internal/quantum"
 	"repro/internal/sim"
 )
 
@@ -39,10 +40,11 @@ type trialStats struct {
 }
 
 // runTrial builds and runs one network + service with a trial-derived seed.
-func runTrial(spec netsim.Spec, scenario nv.ScenarioID, loss float64, cost string, gate float64,
+func runTrial(spec netsim.Spec, scenario nv.ScenarioID, backend quantum.Backend, loss float64, cost string, gate float64,
 	traffic network.TrafficConfig, seed int64, trial int, seconds float64) (trialStats, error) {
 	cfg := netsim.DefaultConfig(spec, scenario)
 	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
+	cfg.Backend = backend
 	cfg.ClassicalLossProb = loss
 	cfg.HoldPairs = true
 	nw, err := netsim.NewNetwork(cfg)
@@ -102,6 +104,7 @@ func main() {
 		src      = flag.Int("src", 0, "source node of the end-to-end pair stream")
 		dst      = flag.Int("dst", -1, "destination node (default: last node)")
 		cost     = flag.String("cost", "hops", "routing cost function: hops|fidelity|rate")
+		backend  = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) fast path); $REPRO_BACKEND sets the default")
 		load     = flag.Float64("load", 0.3, "offered end-to-end load fraction of the bottleneck link rate")
 		kmax     = flag.Int("kmax", 1, "maximum end-to-end pairs per request")
 		fmin     = flag.Float64("fmin", 0.35, "end-to-end minimum delivered fidelity")
@@ -141,6 +144,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gate fidelity must be in (0,1]")
 		os.Exit(2)
 	}
+	be, err := quantum.ResolveBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *trials <= 0 {
 		*trials = 1
 	}
@@ -158,7 +166,7 @@ func main() {
 	results := make([]trialStats, *trials)
 	errs := make([]error, *trials)
 	experiments.RunIndexed(*trials, *parallel, func(i int) {
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *loss, *cost, *gate, traffic, *seed, i, *seconds)
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), be, *loss, *cost, *gate, traffic, *seed, i, *seconds)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/nv"
+	"repro/internal/quantum"
 	"repro/internal/sim"
 )
 
@@ -35,11 +36,12 @@ type trialStats struct {
 }
 
 // runTrial builds and runs one network with a trial-derived seed.
-func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, loss float64,
+func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, backend quantum.Backend, loss float64,
 	traffic netsim.TrafficConfig, seed int64, trial int, seconds float64) (trialStats, error) {
 	cfg := netsim.DefaultConfig(spec, scenario)
 	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
 	cfg.Scheduler = scheduler
+	cfg.Backend = backend
 	cfg.ClassicalLossProb = loss
 	nw, err := netsim.NewNetwork(cfg)
 	if err != nil {
@@ -77,6 +79,7 @@ func main() {
 		edgeList  = flag.String("edges", "", "explicit edge list for -topology edges, e.g. 0-1,1-2,2-0")
 		scenario  = flag.String("scenario", "Lab", "hardware scenario: Lab or QL2020")
 		scheduler = flag.String("scheduler", "FCFS", "per-link EGP scheduler: FCFS, LowerWFQ or HigherWFQ")
+		backend   = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) fast path); $REPRO_BACKEND sets the default")
 		load      = flag.Float64("load", 0.7, "per-link offered load fraction f")
 		kmax      = flag.Int("kmax", 2, "maximum pairs per request")
 		fmin      = flag.Float64("fmin", 0.64, "requested minimum fidelity")
@@ -110,6 +113,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scheduler %q (FCFS|LowerWFQ|HigherWFQ)\n", *scheduler)
 		os.Exit(2)
 	}
+	be, err := quantum.ResolveBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *trials <= 0 {
 		*trials = 1
 	}
@@ -128,7 +136,7 @@ func main() {
 	results := make([]trialStats, *trials)
 	errs := make([]error, *trials)
 	experiments.RunIndexed(*trials, *parallel, func(i int) {
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, *loss, traffic, *seed, i, *seconds)
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, be, *loss, traffic, *seed, i, *seconds)
 	})
 	for _, err := range errs {
 		if err != nil {

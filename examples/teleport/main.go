@@ -22,6 +22,9 @@ func main() {
 	cfg := core.DefaultConfig(nv.ScenarioLab)
 	cfg.Seed = 77
 	cfg.HoldPairs = true // keep the delivered pair in memory so we can consume it
+	// The teleportation circuit below needs the full density matrix, so pin
+	// the dense backend even when $REPRO_BACKEND selects the fast path.
+	cfg.Backend = quantum.BackendDense
 	net := core.NewNetwork(cfg)
 
 	net.Sim.Schedule(0, func() {
@@ -59,7 +62,9 @@ func main() {
 	data := quantum.NewStateFromKet(dataKet)
 
 	// Joint system: data qubit (0), A's half of the pair (1), B's half (2).
-	joint := data.Tensor(pair.State)
+	// The teleportation circuit needs the full density matrix, so this
+	// example runs on the (default) dense pair backend.
+	joint := data.Tensor(pair.State.Dense())
 
 	// Teleportation circuit at A: CNOT(data→A), H(data), then measure both.
 	joint.ApplyUnitary(quantum.CNOT(), 0, 1)

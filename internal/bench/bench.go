@@ -27,6 +27,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/nv"
+	"repro/internal/quantum"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -73,14 +74,23 @@ type Instance interface {
 	Counters() Counters
 }
 
+// BuildConfig parameterises one scenario instantiation.
+type BuildConfig struct {
+	// Seed drives every random choice of the instance.
+	Seed int64
+	// Backend selects the pair-state representation the instance's quantum
+	// stack runs on (dense or Bell-diagonal).
+	Backend quantum.Backend
+}
+
 // Scenario is a registered benchmark workload.
 type Scenario struct {
 	// Name identifies the scenario; it is embedded in BENCH_<name>.json.
 	Name string
 	// Description is a one-line summary for the CLI listing.
 	Description string
-	// Build constructs a fresh instance of the scenario for the given seed.
-	Build func(seed int64) (Instance, error)
+	// Build constructs a fresh instance of the scenario.
+	Build func(cfg BuildConfig) (Instance, error)
 }
 
 // netsimInstance adapts a netsim.Network (link-layer scenarios).
@@ -113,10 +123,11 @@ const primerPairs = 4096
 // buildNetsim wires a link-layer scenario: the given topology on the Lab
 // hardware, every link saturated by a standing measure-directly request with
 // moderate-load Poisson request churn on top.
-func buildNetsim(spec netsim.Spec) func(seed int64) (Instance, error) {
-	return func(seed int64) (Instance, error) {
+func buildNetsim(spec netsim.Spec) func(build BuildConfig) (Instance, error) {
+	return func(build BuildConfig) (Instance, error) {
 		cfg := netsim.DefaultConfig(spec, nv.ScenarioLab)
-		cfg.Seed = seed
+		cfg.Seed = build.Seed
+		cfg.Backend = build.Backend
 		nw, err := netsim.NewNetwork(cfg)
 		if err != nil {
 			return nil, err
@@ -166,10 +177,11 @@ func (in *e2eInstance) Counters() Counters {
 
 // buildE2E wires the 4-hop end-to-end scenario: a 5-node repeater chain with
 // entanglement swapping, driven by Poisson end-to-end requests.
-func buildE2E(nodes int) func(seed int64) (Instance, error) {
-	return func(seed int64) (Instance, error) {
+func buildE2E(nodes int) func(build BuildConfig) (Instance, error) {
+	return func(build BuildConfig) (Instance, error) {
 		cfg := netsim.DefaultConfig(netsim.Chain(nodes), nv.ScenarioLab)
-		cfg.Seed = seed
+		cfg.Seed = build.Seed
+		cfg.Backend = build.Backend
 		cfg.HoldPairs = true
 		nw, err := netsim.NewNetwork(cfg)
 		if err != nil {
@@ -219,6 +231,11 @@ func Scenarios() []Scenario {
 			Build:       buildNetsim(netsim.Grid(3, 3)),
 		},
 		{
+			Name:        "chain-16",
+			Description: "16-node chain: 15 concurrent links on one simulator",
+			Build:       buildNetsim(netsim.Chain(16)),
+		},
+		{
 			Name:        "e2e-4hop",
 			Description: "4-hop repeater chain with entanglement swapping and e2e delivery",
 			Build:       buildE2E(5),
@@ -253,6 +270,9 @@ type Options struct {
 	// It is off by default so that the emitted JSON is byte-identical
 	// across runs and machines.
 	WallClock bool
+	// Backend selects the pair-state representation every scenario runs
+	// on (dense by default; cmd/bench resolves $REPRO_BACKEND into it).
+	Backend quantum.Backend
 }
 
 // withDefaults fills in unset options.
@@ -291,6 +311,11 @@ func Run(sc Scenario, opts Options) (Result, error) {
 			SimSeconds: opts.SimSeconds,
 		},
 	}
+	// The backend is recorded only when it is not the dense default, so
+	// pre-existing dense baselines stay byte-compatible.
+	if opts.Backend != quantum.BackendDense {
+		res.Config.Backend = opts.Backend.String()
+	}
 
 	// Pass 1 — deterministic counters: fan the trials out over the worker
 	// pool; every trial is an independent simulation, so the summed counters
@@ -298,7 +323,7 @@ func Run(sc Scenario, opts Options) (Result, error) {
 	counters := make([]Counters, opts.Trials)
 	errs := make([]error, opts.Trials)
 	experiments.RunIndexed(opts.Trials, opts.Parallelism, func(i int) {
-		inst, err := sc.Build(experiments.DeriveSeed(opts.Seed, uint64(i)))
+		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, uint64(i)), Backend: opts.Backend})
 		if err != nil {
 			errs[i] = err
 			return
@@ -346,7 +371,7 @@ func Run(sc Scenario, opts Options) (Result, error) {
 // measureAllocs runs one serial trial and reports heap allocations and bytes
 // per entanglement attempt over the steady-state window.
 func measureAllocs(sc Scenario, opts Options) (allocsPerAttempt, bytesPerAttempt float64, err error) {
-	inst, err := sc.Build(experiments.DeriveSeed(opts.Seed, 0))
+	inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -386,7 +411,7 @@ const wallClockPasses = 3
 func measureWallClock(sc Scenario, opts Options) (WallClock, error) {
 	best := WallClock{}
 	for pass := 0; pass < wallClockPasses; pass++ {
-		inst, err := sc.Build(experiments.DeriveSeed(opts.Seed, 0))
+		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend})
 		if err != nil {
 			return WallClock{}, err
 		}

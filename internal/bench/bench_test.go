@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/quantum"
 )
 
 // quickOpts keeps harness tests fast: a short simulated window is enough to
@@ -16,7 +18,7 @@ func quickOpts(parallel int) Options {
 }
 
 func TestRegistryHasAllScenarios(t *testing.T) {
-	want := []string{"single-link", "chain-8", "grid-3x3", "e2e-4hop"}
+	want := []string{"single-link", "chain-8", "grid-3x3", "chain-16", "e2e-4hop"}
 	got := Scenarios()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d scenarios, want %d", len(got), len(want))
@@ -185,6 +187,44 @@ func TestCompareGate(t *testing.T) {
 			t.Fatal("want scenario-mismatch error")
 		}
 	})
+}
+
+// The deterministic counters must be identical on both pair-state backends:
+// the backend changes how a pair's state is represented, never which events
+// fire, which attempts are sampled or which pairs are delivered. This is the
+// whole-stack parity check behind "-backend=belldiag leaves the committed
+// counters unchanged".
+func TestBackendCountersParity(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			dense := quickOpts(2)
+			dense.Backend = quantum.BackendDense
+			bell := quickOpts(2)
+			bell.Backend = quantum.BackendBellDiagonal
+			dres, err := Run(sc, dense)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bres, err := Run(sc, bell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dres.Totals != bres.Totals {
+				t.Fatalf("deterministic counters differ across backends:\ndense    %+v\nbelldiag %+v", dres.Totals, bres.Totals)
+			}
+			if dres.Rates != bres.Rates {
+				t.Fatalf("rates differ across backends:\ndense    %+v\nbelldiag %+v", dres.Rates, bres.Rates)
+			}
+			if bres.Config.Backend != "belldiag" {
+				t.Fatalf("belldiag result does not record its backend: %+v", bres.Config)
+			}
+			if dres.Config.Backend != "" {
+				t.Fatalf("dense result must omit the backend field for baseline compatibility: %+v", dres.Config)
+			}
+		})
+	}
 }
 
 func TestReadFileRejectsWrongSchema(t *testing.T) {

@@ -17,6 +17,10 @@ type RunConfig struct {
 	Seed       int64   `json:"seed"`
 	Trials     int     `json:"trials"`
 	SimSeconds float64 `json:"simulated_seconds"`
+	// Backend is the pair-state backend the run used. Empty means the
+	// dense default, so dense results (and pre-existing baselines) carry
+	// no backend field at all.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Rates are throughput figures in simulated time: fully deterministic for a

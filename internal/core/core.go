@@ -39,6 +39,9 @@ type Config struct {
 	// Scenario selects the hardware model: nv.ScenarioLab or
 	// nv.ScenarioQL2020.
 	Scenario nv.ScenarioID
+	// Backend selects the pair-state representation (dense, the zero
+	// value, or the Bell-diagonal fast path).
+	Backend quantum.Backend
 	// Seed drives every random choice of the run.
 	Seed int64
 	// Scheduler names the EGP scheduling strategy: "FCFS", "LowerWFQ" or
@@ -78,6 +81,7 @@ func DefaultConfig(scenario nv.ScenarioID) Config {
 		Scenario:             scenario,
 		Seed:                 1,
 		Scheduler:            "FCFS",
+		Backend:              quantum.BackendFromEnv(),
 		EmissionMultiplexing: true,
 		MaxQueueLen:          256,
 		StorageMargin:        0.05,
@@ -145,7 +149,7 @@ func NewNetwork(cfg Config) *Network {
 	}
 	platform := nv.NewPlatform(cfg.Scenario)
 	s := sim.New(cfg.Seed)
-	sampler := photonics.NewLinkSampler(platform.Optics)
+	sampler := photonics.NewLinkSamplerBackend(platform.Optics, cfg.Backend)
 	registry := mhp.NewPairRegistry()
 
 	n := &Network{

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mhp"
 	"repro/internal/nv"
 	"repro/internal/photonics"
+	"repro/internal/quantum"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -36,6 +37,10 @@ type Config struct {
 	// used by validation runs that need modified hardware (e.g. idealised
 	// memories for closed-form fidelity checks).
 	Platform *nv.Platform
+	// Backend selects the pair-state representation every link heralds:
+	// quantum.BackendDense (exact, the zero value) or
+	// quantum.BackendBellDiagonal (the O(1) fast path).
+	Backend quantum.Backend
 	// Seed drives every random choice of the run.
 	Seed int64
 	// Scheduler names the per-link EGP scheduling strategy.
@@ -57,13 +62,16 @@ type Config struct {
 
 // DefaultConfig returns the options used by the network-layer experiments:
 // the given topology on the given scenario, FCFS scheduling, no classical
-// losses, emission multiplexing on.
+// losses, emission multiplexing on. The pair-state backend defaults to
+// $REPRO_BACKEND when set (the CI test matrix runs the suite once per
+// backend), else to the exact dense simulator.
 func DefaultConfig(spec Spec, scenario nv.ScenarioID) Config {
 	return Config{
 		Spec:                 spec,
 		Scenario:             scenario,
 		Seed:                 1,
 		Scheduler:            "FCFS",
+		Backend:              quantum.BackendFromEnv(),
 		EmissionMultiplexing: true,
 		MaxQueueLen:          256,
 		StorageMargin:        0.05,
@@ -226,7 +234,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		Config:       cfg,
 		Sim:          s,
 		Platform:     platform,
-		Sampler:      photonics.NewLinkSampler(platform.Optics),
+		Sampler:      photonics.NewLinkSamplerBackend(platform.Optics, cfg.Backend),
 		pairChannels: make(map[Edge]*classical.Duplex),
 		linksByEdge:  make(map[Edge]*Link),
 	}

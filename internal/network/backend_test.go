@@ -1,0 +1,67 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/nv"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// runBackendChain drives the ideal-memory 4-hop repeater chain on the given
+// backend and returns the delivered OK events in order.
+func runBackendChain(t *testing.T, backend quantum.Backend) []OKEvent {
+	t.Helper()
+	ncfg := netsim.DefaultConfig(netsim.Chain(5), nv.ScenarioLab)
+	ncfg.Seed = 11
+	ncfg.HoldPairs = true
+	ncfg.Platform = idealMemoryPlatform()
+	ncfg.Backend = backend
+	nw, err := netsim.NewNetwork(ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(nw, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oks []OKEvent
+	svc.OnOK = func(ev OKEvent) { oks = append(oks, ev) }
+	if _, code := svc.Create(CreateRequest{SrcNode: 0, DstNode: 4, NumPairs: 2, MinFidelity: 0.35}); code != wire.ErrNone {
+		t.Fatalf("Create returned %v", code)
+	}
+	nw.Run(sim.DurationSeconds(4))
+	svc.FinishAt(nw.Sim.Now())
+	return oks
+}
+
+// The Bell-diagonal backend must reproduce the dense backend's end-to-end
+// deliveries on the twirled ideal-memory platform: same number of pairs at
+// the same simulated times with the same closed-form predictions, and true
+// fidelities matching to the 1e-9 equivalence bound (twirled link pairs are
+// Werner, so the fast path is exact there).
+func TestBackendEquivalenceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level experiment in short mode")
+	}
+	dense := runBackendChain(t, quantum.BackendDense)
+	bell := runBackendChain(t, quantum.BackendBellDiagonal)
+	if len(dense) == 0 || len(dense) != len(bell) {
+		t.Fatalf("delivery counts differ: dense %d belldiag %d", len(dense), len(bell))
+	}
+	for i := range dense {
+		d, b := dense[i], bell[i]
+		if d.At != b.At || d.Hops != b.Hops || d.RequestID != b.RequestID {
+			t.Errorf("OK %d coordinates differ: dense %+v belldiag %+v", i, d, b)
+		}
+		if math.Abs(d.Predicted-b.Predicted) > 1e-9 {
+			t.Errorf("OK %d: predicted fidelity differs: dense %.12f belldiag %.12f", i, d.Predicted, b.Predicted)
+		}
+		if math.Abs(d.Fidelity-b.Fidelity) > 1e-9 {
+			t.Errorf("OK %d: delivered fidelity differs: dense %.12f belldiag %.12f", i, d.Fidelity, b.Fidelity)
+		}
+	}
+}

@@ -192,7 +192,7 @@ func (s *Service) activateLinkSegment(sg *segment) {
 	sg.devA.ApplyDecoherence(sg.pair, sg.sideA, now)
 	sg.devB.ApplyDecoherence(sg.pair, sg.sideB, now)
 	if s.cfg.TwirlLinkPairs {
-		sg.predicted = quantum.TwirlToWerner(sg.pair.State, sg.pair.HeraldedAs)
+		sg.predicted = sg.pair.State.Twirl(sg.pair.HeraldedAs)
 	} else {
 		sg.predicted = sg.pair.Fidelity()
 	}
@@ -275,7 +275,7 @@ func (s *Service) performSwap(n int, segL, segR *segment) {
 	devR.ApplyDecoherence(segR.pair, segR.sideA, now)
 
 	u := s.nw.Sim.RNG().Float64()
-	reduced, outcome := quantum.SwapVia(segL.pair.State, segR.pair.State,
+	reduced, outcome := segL.pair.State.SwapWith(segR.pair.State,
 		int(segL.sideB), int(segR.sideA), s.cfg.SwapGateFidelity, u)
 	label := quantum.SwappedBell(segL.pair.HeraldedAs, segR.pair.HeraldedAs, outcome)
 	newPair := nv.NewSwappedPair(reduced, label, segL.pair, segL.sideA, segR.pair, segR.sideB, now)
@@ -408,7 +408,7 @@ func (s *Service) handleFrame(node int, msg classical.Message) {
 			sg.devB.ApplyDecoherence(sg.pair, sg.sideB, s.nw.Sim.Now())
 			if !quantum.CorrectionIsIdentity(f.Label, quantum.PsiPlus) {
 				// The b end's qubit is qubit 1 (side B) of the pair state.
-				sg.pair.State.ApplyUnitary(quantum.CorrectionPauli(f.Label, quantum.PsiPlus), 1)
+				sg.pair.State.ApplyPauli(1, quantum.CorrectionPauliOp(f.Label, quantum.PsiPlus))
 			}
 			sg.pair.HeraldedAs = quantum.PsiPlus
 		}

@@ -3,7 +3,6 @@ package nv
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/quantum"
 	"repro/internal/sim"
@@ -53,10 +52,11 @@ const (
 )
 
 // EntangledPair is the shared representation of one entangled link: the
-// joint two-qubit density matrix plus per-side bookkeeping of where the
-// qubit is stored and when decoherence was last applied.
+// joint two-qubit pair state — dense density matrix or Bell-diagonal fast
+// path, behind the quantum.PairState interface — plus per-side bookkeeping
+// of where the qubit is stored and when decoherence was last applied.
 type EntangledPair struct {
-	State      *quantum.State // qubit 0 = side A, qubit 1 = side B
+	State      quantum.PairState // qubit 0 = side A, qubit 1 = side B
 	CreatedAt  sim.Time
 	HeraldedAs quantum.BellState // the Bell state announced by the midpoint (after any correction)
 	// DeliveredFidelity caches the fidelity of the pair at the moment the
@@ -71,8 +71,8 @@ type EntangledPair struct {
 
 // NewEntangledPair wraps a freshly heralded two-qubit state. Both sides
 // start in their communication qubits.
-func NewEntangledPair(state *quantum.State, heralded quantum.BellState, now sim.Time) *EntangledPair {
-	if state.NumQubits() != 2 {
+func NewEntangledPair(state quantum.PairState, heralded quantum.BellState, now sim.Time) *EntangledPair {
+	if d := state.Dense(); d != nil && d.NumQubits() != 2 {
 		panic("nv: entangled pair must be a two-qubit state")
 	}
 	p := &EntangledPair{State: state, CreatedAt: now, HeraldedAs: heralded}
@@ -99,8 +99,8 @@ func (p *EntangledPair) Fidelity() float64 { return p.State.BellFidelity(p.Heral
 // bookkeeping — qubit kind, physical qubit and decoherence clock — of the
 // input pair it came from. The swapping node's callers release the two
 // consumed middle qubits and Rebind the far devices onto the returned pair.
-func NewSwappedPair(state *quantum.State, heralded quantum.BellState, left *EntangledPair, leftFar PairSide, right *EntangledPair, rightFar PairSide, now sim.Time) *EntangledPair {
-	if state.NumQubits() != 2 {
+func NewSwappedPair(state quantum.PairState, heralded quantum.BellState, left *EntangledPair, leftFar PairSide, right *EntangledPair, rightFar PairSide, now sim.Time) *EntangledPair {
+	if d := state.Dense(); d != nil && d.NumQubits() != 2 {
 		panic("nv: swapped pair must be a two-qubit state")
 	}
 	p := &EntangledPair{State: state, CreatedAt: now, HeraldedAs: heralded}
@@ -126,6 +126,21 @@ type Device struct {
 	occupied map[QubitID]*EntangledPair
 	// side maps qubit IDs to which side of the pair this device holds.
 	side map[QubitID]PairSide
+
+	// uBuf is the reusable readout-draw buffer of Measure: drawing through
+	// the batch interface keeps the uniform stream identical to
+	// one-at-a-time draws while avoiding a per-readout interface call and
+	// any buffer escape (mirroring photonics.LinkSampler.Sample).
+	uBuf [1]float64
+
+	// pdAlpha/pdCached memoise Coupling.DephasingPerAttempt for the most
+	// recent bright-state population: ApplyAttemptDephasing runs once per
+	// entanglement attempt and α changes only when the link retargets a
+	// different fidelity, so the exp() inside Eq. (25) is almost always
+	// redundant.
+	pdAlpha  float64
+	pdCached float64
+	pdValid  bool
 }
 
 // NewDevice creates a device with the given number of memory qubits.
@@ -260,20 +275,21 @@ func (d *Device) ApplyDecoherence(pair *EntangledPair, side PairSide, now sim.Ti
 		return
 	}
 	elapsed := now.Sub(last).Seconds()
-	quantum.ApplyMemoryNoise(pair.State, int(side), elapsed, d.memoryParams(pair.kind[side]))
+	pair.State.ApplyMemoryNoise(int(side), elapsed, d.memoryParams(pair.kind[side]))
 	pair.lastUpdate[side] = now
 }
 
 // ApplyAttemptDephasing applies the nuclear-spin dephasing caused by one
 // entanglement generation attempt with bright-state population alpha to
 // every pair stored in a carbon memory qubit of this device (Appendix
-// D.4.1).
+// D.4.1). It runs once per attempt, so it scans the (few) memory slots
+// directly instead of iterating the occupied map and only evaluates the
+// per-attempt probability once a stored pair is actually found.
 func (d *Device) ApplyAttemptDephasing(alpha float64) {
-	pd := d.Coupling.DephasingPerAttempt(alpha)
-	if pd <= 0 {
-		return
-	}
-	for q, pair := range d.occupied {
+	pd := -1.0
+	for i := 1; i <= d.memorySlots; i++ {
+		q := QubitID(i)
+		pair := d.occupied[q]
 		if pair == nil {
 			continue
 		}
@@ -281,17 +297,33 @@ func (d *Device) ApplyAttemptDephasing(alpha float64) {
 		if pair.kind[side] != MemoryQubit {
 			continue
 		}
-		pair.State.ApplyKraus(quantum.DephasingKraus(pd), int(side))
+		if pd < 0 {
+			pd = d.dephasingPerAttempt(alpha)
+			if pd <= 0 {
+				return
+			}
+		}
+		pair.State.ApplyDephasing(int(side), pd)
 	}
+}
+
+// dephasingPerAttempt memoises Eq. (25) for the current α.
+func (d *Device) dephasingPerAttempt(alpha float64) float64 {
+	if !d.pdValid || d.pdAlpha != alpha {
+		d.pdCached = d.Coupling.DephasingPerAttempt(alpha)
+		d.pdAlpha = alpha
+		d.pdValid = true
+	}
+	return d.pdCached
 }
 
 // ApplyCorrection applies the local gate converting the heralded |Ψ−⟩ into
 // |Ψ+⟩ (a Z on this device's qubit, Eq. 13) with the single-qubit gate
 // noise, and updates the pair's heralded label.
 func (d *Device) ApplyCorrection(pair *EntangledPair, side PairSide) {
-	pair.State.ApplyUnitary(quantum.PauliZ(), int(side))
+	pair.State.ApplyPauli(int(side), quantum.OpZ)
 	if f := d.Gates.ElectronSingleQubit.Fidelity; f < 1 {
-		pair.State.ApplyKraus(quantum.GateNoiseKraus(f), int(side))
+		pair.State.ApplyDephasing(int(side), 1-f)
 	}
 	pair.HeraldedAs = quantum.PsiPlus
 }
@@ -321,7 +353,7 @@ func (d *Device) MoveToMemory(pair *EntangledPair, side PairSide, target QubitID
 	d.ApplyDecoherence(pair, side, now)
 	moveEnd := now.Add(d.Gates.MoveToCarbon.Duration)
 	if f := d.Gates.MoveToCarbon.Fidelity; f < 1 {
-		pair.State.ApplyKraus(quantum.GateNoiseKraus(f), int(side))
+		pair.State.ApplyDephasing(int(side), 1-f)
 	}
 	pair.lastUpdate[side] = moveEnd
 
@@ -340,48 +372,32 @@ type ReadoutResult struct {
 	Basis   quantum.BasisLabel
 }
 
+// batchRandomSource is the optional fast path of the rng parameter of
+// Measure: sources that can hand out several uniforms at once (sim.RNG does)
+// let the readout draw land in a persistent buffer instead of returning
+// through an interface call per readout.
+type batchRandomSource interface {
+	Float64Batch(dst []float64)
+}
+
 // Measure performs a destructive measurement of this device's side of the
 // pair in the given basis, applying decoherence up to now, the basis
 // rotation (with single-qubit gate noise) and the asymmetric readout POVM of
-// Appendix D.3.4. The pair is released from the device afterwards.
+// Appendix D.3.4 — all through the pair's backend. The pair is released from
+// the device afterwards. The readout consumes exactly one uniform sample,
+// drawn through the batch interface when available so the stream matches
+// one-at-a-time draws.
 func (d *Device) Measure(pair *EntangledPair, side PairSide, basis quantum.BasisLabel, now sim.Time, rng interface{ Float64() float64 }) ReadoutResult {
 	d.ApplyDecoherence(pair, side, now)
-	if basis != quantum.BasisZ {
-		pair.State.ApplyUnitary(quantum.BasisRotation(basis), int(side))
-		if f := d.Gates.ElectronSingleQubit.Fidelity; f < 1 {
-			pair.State.ApplyKraus(quantum.GateNoiseKraus(f), int(side))
-		}
-	}
-	m0, m1 := readoutKraus(d.Gates.ElectronReadout)
-	p0 := pair.State.Probability(m0.Dagger().Mul(m0), int(side))
-	outcome := 0
-	if rng.Float64() >= p0 {
-		outcome = 1
-	}
-	if outcome == 0 {
-		pair.State.Collapse(m0, int(side))
+	u := &d.uBuf
+	if batch, ok := rng.(batchRandomSource); ok {
+		batch.Float64Batch(u[:])
 	} else {
-		pair.State.Collapse(m1, int(side))
+		u[0] = rng.Float64()
 	}
+	ro := d.Gates.ElectronReadout
+	outcome := pair.State.Readout(int(side), basis,
+		d.Gates.ElectronSingleQubit.Fidelity, ro.Fidelity0, ro.Fidelity1, u[0])
 	d.Release(pair)
 	return ReadoutResult{Outcome: outcome, Basis: basis}
-}
-
-// readoutKraus builds the asymmetric readout Kraus operators of Eq. (23).
-func readoutKraus(spec ReadoutSpec) (m0, m1 quantum.Matrix) {
-	f0, f1 := spec.Fidelity0, spec.Fidelity1
-	m0 = quantum.NewMatrix(2)
-	m0.Set(0, 0, complex(sqrt(f0), 0))
-	m0.Set(1, 1, complex(sqrt(1-f1), 0))
-	m1 = quantum.NewMatrix(2)
-	m1.Set(0, 0, complex(sqrt(1-f0), 0))
-	m1.Set(1, 1, complex(sqrt(f1), 0))
-	return m0, m1
-}
-
-func sqrt(v float64) float64 {
-	if v < 0 {
-		return 0
-	}
-	return math.Sqrt(v)
 }

@@ -49,14 +49,16 @@ type AttemptResult struct {
 	// detector imperfections.
 	Outcome MidpointOutcome
 	// State is the post-measurement joint state of the two communication
-	// qubits (qubit 0 at A, qubit 1 at B). It is only meaningful when
-	// Outcome.Success() is true; on a false-positive herald (dark count)
-	// it still holds the collapsed electron state, which is then of low
-	// fidelity — exactly the error source the protocol must tolerate.
-	// The cached sampler (LinkSampler.Sample) leaves it nil on failed
-	// attempts, since the vast majority of attempts fail and nothing
-	// downstream reads the state of a failure.
-	State *quantum.State
+	// qubits (qubit 0 at A, qubit 1 at B), represented on the sampler's
+	// pair-state backend (dense from HeraldedLink.Attempt, which always
+	// runs the exact model). It is only meaningful when Outcome.Success()
+	// is true; on a false-positive herald (dark count) it still holds the
+	// collapsed electron state, which is then of low fidelity — exactly
+	// the error source the protocol must tolerate. The cached sampler
+	// (LinkSampler.Sample) leaves it nil on failed attempts, since the
+	// vast majority of attempts fail and nothing downstream reads the
+	// state of a failure.
+	State quantum.PairState
 	// IdealPattern and ObservedPattern record the click pattern before and
 	// after detector noise, for diagnostics and tests.
 	IdealPattern    ClickPattern

@@ -17,6 +17,13 @@ import (
 type LinkSampler struct {
 	link *HeraldedLink
 
+	// backend selects the pair-state representation handed out on heralded
+	// successes: dense density-matrix copies (exact, the default) or
+	// Bell-diagonal coefficient vectors (the O(1) fast path). The branch
+	// probabilities are always computed with the dense model, so heralding
+	// statistics are backend-independent.
+	backend quantum.Backend
+
 	cache map[alphaKey]*attemptDistribution
 
 	// attempts counts how many times Sample has been called; the benchmark
@@ -38,12 +45,26 @@ type attemptDistribution struct {
 	probs  [4]float64        // indexed by ClickPattern
 	total  float64           // sum of probs in index order, cached for sampling
 	states [4]*quantum.State // conditional electron states, nil when prob≈0
+	// bell is the Bell-basis diagonal of each conditional state — the
+	// Bell-diagonal backend's herald payload, precomputed once per (α, α)
+	// so per-success cost is a 4-float copy.
+	bell [4][4]float64
 }
 
-// NewLinkSampler wraps a heralded link with a per-alpha cache.
+// NewLinkSampler wraps a heralded link with a per-alpha cache; pairs are
+// handed out on the exact dense backend.
 func NewLinkSampler(link *HeraldedLink) *LinkSampler {
-	return &LinkSampler{link: link, cache: make(map[alphaKey]*attemptDistribution)}
+	return NewLinkSamplerBackend(link, quantum.BackendDense)
 }
+
+// NewLinkSamplerBackend wraps a heralded link with a per-alpha cache,
+// heralding pairs on the given backend.
+func NewLinkSamplerBackend(link *HeraldedLink, backend quantum.Backend) *LinkSampler {
+	return &LinkSampler{link: link, backend: backend, cache: make(map[alphaKey]*attemptDistribution)}
+}
+
+// Backend returns the pair-state backend heralded pairs use.
+func (s *LinkSampler) Backend() quantum.Backend { return s.backend }
 
 // Link returns the underlying heralded link model.
 func (s *LinkSampler) Link() *HeraldedLink { return s.link }
@@ -121,7 +142,14 @@ func (s *LinkSampler) computeDistribution(alphaA, alphaB float64) *attemptDistri
 		if p > 1e-15 {
 			collapsed := joint.Copy()
 			collapsed.Collapse(br.kraus, qPhotonA, qPhotonB)
-			d.states[br.pattern] = collapsed.PartialTrace(qPhotonA, qPhotonB)
+			electrons := collapsed.PartialTrace(qPhotonA, qPhotonB)
+			d.states[br.pattern] = electrons
+			d.bell[br.pattern] = quantum.BellDiagCoefficients(electrons)
+		} else {
+			// A pattern of (numerically) zero probability can still be
+			// observed through detector dark counts; the heralded pair is
+			// then the untouched |00⟩ electrons.
+			d.bell[br.pattern] = quantum.BellDiagCoefficients(quantum.NewState(2))
 		}
 	}
 	for _, p := range d.probs {
@@ -229,9 +257,11 @@ func (s *LinkSampler) Sample(alphaA, alphaB float64, rng RandomSource) AttemptRe
 	}
 	observed := ApplyDetectorNoise(ideal, s.link.Detectors, u[1], u[2], u[3], u[4])
 	outcome := OutcomeFromClicks(observed)
-	var st *quantum.State
+	var st quantum.PairState
 	if outcome.Success() {
-		if d.states[ideal] != nil {
+		if s.backend == quantum.BackendBellDiagonal {
+			st = quantum.NewBellDiag(d.bell[ideal])
+		} else if d.states[ideal] != nil {
 			st = d.states[ideal].Copy()
 		} else {
 			st = quantum.NewState(2)

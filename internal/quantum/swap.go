@@ -233,6 +233,14 @@ func CorrectionPauli(from, to BellState) Matrix {
 	return pauliByIndex(swapTables.correction[from][to])
 }
 
+// CorrectionPauliOp is CorrectionPauli as a PauliOp index, for callers going
+// through the backend-agnostic PairState interface instead of dense
+// matrices.
+func CorrectionPauliOp(from, to BellState) PauliOp {
+	swapTables.once.Do(deriveSwapTables)
+	return PauliOp(swapTables.correction[from][to])
+}
+
 // CorrectionIsIdentity reports whether converting from → to needs no local
 // operation (the Pauli frame already matches).
 func CorrectionIsIdentity(from, to BellState) bool {
