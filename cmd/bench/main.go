@@ -39,7 +39,7 @@ func main() {
 	var (
 		scenarios = flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
 		list      = flag.Bool("list", false, "list registered scenarios and exit")
-		seconds   = flag.Float64("seconds", 1, "simulated seconds per trial")
+		seconds   = flag.Float64("seconds", 0, "simulated seconds per trial (0 = each scenario's own default)")
 		trials    = flag.Int("trials", 3, "independently seeded repetitions feeding the deterministic counters")
 		seed      = flag.Int64("seed", 1, "base random seed (trial seeds are derived from it)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the trial fan-out (never changes any reported number)")
@@ -49,6 +49,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline directory to gate against (fails on regression)")
 		gate      = flag.Float64("gate", 0.20, "allowed relative regression vs the baseline (0.20 = 20%)")
 		backend   = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) Bell-diagonal fast path); $REPRO_BACKEND sets the default")
+		shards    = flag.Int("shards", 0, "worker shards of the simulation engine (<=1 serial; counters are identical at any shard count)")
 	)
 	flag.Parse()
 
@@ -87,15 +88,24 @@ func main() {
 		Parallelism: *parallel,
 		WallClock:   *wallclock,
 		Backend:     be,
+		Shards:      *shards,
 	}
 
+	engine := "serial engine"
+	if *shards > 1 {
+		engine = fmt.Sprintf("%d-shard engine", *shards)
+	}
+	duration := "per-scenario duration"
+	if *seconds > 0 {
+		duration = fmt.Sprintf("%.2f simulated second(s)", *seconds)
+	}
 	columns := []string{"scenario", "events", "attempts", "pairs", "events/sim-s", "pairs/sim-s", "allocs/attempt", "bytes/attempt"}
 	if *wallclock {
 		columns = append(columns, "events/wall-s", "sim-s/wall-s")
 	}
 	table := experiments.Table{
 		ID:      "bench",
-		Caption: fmt.Sprintf("%d trial(s) x %.2f simulated second(s), seed %d, %s backend", opts.Trials, opts.SimSeconds, opts.Seed, be),
+		Caption: fmt.Sprintf("%d trial(s) x %s, seed %d, %s backend, %s", opts.Trials, duration, opts.Seed, be, engine),
 		Columns: columns,
 	}
 

@@ -37,12 +37,13 @@ type trialStats struct {
 
 // runTrial builds and runs one network with a trial-derived seed.
 func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, backend quantum.Backend, loss float64,
-	traffic netsim.TrafficConfig, seed int64, trial int, seconds float64) (trialStats, error) {
+	traffic netsim.TrafficConfig, seed int64, trial int, seconds float64, shards int) (trialStats, error) {
 	cfg := netsim.DefaultConfig(spec, scenario)
 	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
 	cfg.Scheduler = scheduler
 	cfg.Backend = backend
 	cfg.ClassicalLossProb = loss
+	cfg.Shards = shards
 	nw, err := netsim.NewNetwork(cfg)
 	if err != nil {
 		return trialStats{}, err
@@ -74,7 +75,7 @@ var statsColumns = []string{"link", "requests", "errors", "pairs", "throughput(1
 
 func main() {
 	var (
-		topology  = flag.String("topology", "chain", "topology: chain|star|grid|edges")
+		topology  = flag.String("topology", "chain", "topology: chain|star|grid|dragonfly|edges")
 		nodes     = flag.Int("nodes", 8, "node count (grid requires a perfect square)")
 		edgeList  = flag.String("edges", "", "explicit edge list for -topology edges, e.g. 0-1,1-2,2-0")
 		scenario  = flag.String("scenario", "Lab", "hardware scenario: Lab or QL2020")
@@ -89,6 +90,7 @@ func main() {
 		seconds   = flag.Float64("seconds", 1, "simulated seconds per trial")
 		trials    = flag.Int("trials", 3, "independent repetitions (seeds derived from -seed)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
+		shards    = flag.Int("shards", 0, "worker shards of the simulation engine (<=1 serial; tables are identical at any shard count)")
 	)
 	flag.Parse()
 
@@ -136,7 +138,7 @@ func main() {
 	results := make([]trialStats, *trials)
 	errs := make([]error, *trials)
 	experiments.RunIndexed(*trials, *parallel, func(i int) {
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, be, *loss, traffic, *seed, i, *seconds)
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, be, *loss, traffic, *seed, i, *seconds, *shards)
 	})
 	for _, err := range errs {
 		if err != nil {

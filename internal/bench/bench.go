@@ -81,6 +81,10 @@ type BuildConfig struct {
 	// Backend selects the pair-state representation the instance's quantum
 	// stack runs on (dense or Bell-diagonal).
 	Backend quantum.Backend
+	// Shards selects the simulation engine: ≤1 serial, >1 a sharded engine
+	// with that many worker shards. Deterministic counters are identical
+	// either way.
+	Shards int
 }
 
 // Scenario is a registered benchmark workload.
@@ -89,6 +93,10 @@ type Scenario struct {
 	Name string
 	// Description is a one-line summary for the CLI listing.
 	Description string
+	// SimSeconds is the scenario's default trial duration; 0 means the
+	// harness default of 1 simulated second. Large topologies set it lower
+	// so a trial stays affordable.
+	SimSeconds float64
 	// Build constructs a fresh instance of the scenario.
 	Build func(cfg BuildConfig) (Instance, error)
 }
@@ -103,7 +111,7 @@ func (in *netsimInstance) Advance(d sim.Duration) { in.nw.Run(d) }
 func (in *netsimInstance) Counters() Counters {
 	c := Counters{
 		Events:   in.nw.Sim.Executed(),
-		Attempts: in.nw.Sampler.Attempts(),
+		Attempts: in.nw.Attempts(),
 	}
 	for _, l := range in.nw.Links {
 		c.Requests += l.Submitted
@@ -128,6 +136,7 @@ func buildNetsim(spec netsim.Spec) func(build BuildConfig) (Instance, error) {
 		cfg := netsim.DefaultConfig(spec, nv.ScenarioLab)
 		cfg.Seed = build.Seed
 		cfg.Backend = build.Backend
+		cfg.Shards = build.Shards
 		nw, err := netsim.NewNetwork(cfg)
 		if err != nil {
 			return nil, err
@@ -167,7 +176,7 @@ func (in *e2eInstance) Advance(d sim.Duration) {
 func (in *e2eInstance) Counters() Counters {
 	c := Counters{
 		Events:   in.nw.Sim.Executed(),
-		Attempts: in.nw.Sampler.Attempts(),
+		Attempts: in.nw.Attempts(),
 	}
 	_, agg := in.svc.Stats()
 	c.Requests = agg.Requests
@@ -179,6 +188,9 @@ func (in *e2eInstance) Counters() Counters {
 // entanglement swapping, driven by Poisson end-to-end requests.
 func buildE2E(nodes int) func(build BuildConfig) (Instance, error) {
 	return func(build BuildConfig) (Instance, error) {
+		if build.Shards > 1 {
+			return nil, fmt.Errorf("bench: the e2e scenario runs the network layer, which is serial-only (got -shards %d)", build.Shards)
+		}
 		cfg := netsim.DefaultConfig(netsim.Chain(nodes), nv.ScenarioLab)
 		cfg.Seed = build.Seed
 		cfg.Backend = build.Backend
@@ -240,6 +252,18 @@ func Scenarios() []Scenario {
 			Description: "4-hop repeater chain with entanglement swapping and e2e delivery",
 			Build:       buildE2E(5),
 		},
+		{
+			Name:        "chain-256",
+			Description: "256-node chain: 255 concurrent links, the shard-scaling stress chain",
+			SimSeconds:  0.05,
+			Build:       buildNetsim(netsim.Chain(256)),
+		},
+		{
+			Name:        "dragonfly-d3",
+			Description: "D3(4,5) dragonfly: 5 groups of 4 routers, 40 links (30 local + 10 global)",
+			SimSeconds:  0.1,
+			Build:       buildNetsim(netsim.Dragonfly(4, 5)),
+		},
 	}
 }
 
@@ -255,7 +279,8 @@ func ScenarioByName(name string) (Scenario, bool) {
 
 // Options configures a harness run.
 type Options struct {
-	// SimSeconds is the simulated duration of every trial (default 1).
+	// SimSeconds is the simulated duration of every trial; 0 uses the
+	// scenario's own default (1 when the scenario sets none).
 	SimSeconds float64
 	// Trials is how many independently seeded repetitions feed the
 	// deterministic counters (default 3).
@@ -273,13 +298,15 @@ type Options struct {
 	// Backend selects the pair-state representation every scenario runs
 	// on (dense by default; cmd/bench resolves $REPRO_BACKEND into it).
 	Backend quantum.Backend
+	// Shards selects the engine every trial runs on (≤1 serial). The
+	// deterministic counters are independent of it; only wall-clock
+	// throughput changes.
+	Shards int
 }
 
-// withDefaults fills in unset options.
+// withDefaults fills in unset options (SimSeconds is resolved per scenario
+// in Run, since scenarios may carry their own default duration).
 func (o Options) withDefaults() Options {
-	if o.SimSeconds <= 0 {
-		o.SimSeconds = 1
-	}
 	if o.Trials <= 0 {
 		o.Trials = 3
 	}
@@ -301,6 +328,12 @@ const allocWarmupFraction = 0.25
 // Run executes one scenario under the given options and returns its result.
 func Run(sc Scenario, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	if opts.SimSeconds <= 0 {
+		opts.SimSeconds = sc.SimSeconds
+	}
+	if opts.SimSeconds <= 0 {
+		opts.SimSeconds = 1
+	}
 	res := Result{
 		Schema:      SchemaVersion,
 		Scenario:    sc.Name,
@@ -312,9 +345,13 @@ func Run(sc Scenario, opts Options) (Result, error) {
 		},
 	}
 	// The backend is recorded only when it is not the dense default, so
-	// pre-existing dense baselines stay byte-compatible.
+	// pre-existing dense baselines stay byte-compatible; likewise the shard
+	// count is recorded only for sharded runs.
 	if opts.Backend != quantum.BackendDense {
 		res.Config.Backend = opts.Backend.String()
+	}
+	if opts.Shards > 1 {
+		res.Config.Shards = opts.Shards
 	}
 
 	// Pass 1 — deterministic counters: fan the trials out over the worker
@@ -323,7 +360,7 @@ func Run(sc Scenario, opts Options) (Result, error) {
 	counters := make([]Counters, opts.Trials)
 	errs := make([]error, opts.Trials)
 	experiments.RunIndexed(opts.Trials, opts.Parallelism, func(i int) {
-		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, uint64(i)), Backend: opts.Backend})
+		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, uint64(i)), Backend: opts.Backend, Shards: opts.Shards})
 		if err != nil {
 			errs[i] = err
 			return
@@ -371,7 +408,7 @@ func Run(sc Scenario, opts Options) (Result, error) {
 // measureAllocs runs one serial trial and reports heap allocations and bytes
 // per entanglement attempt over the steady-state window.
 func measureAllocs(sc Scenario, opts Options) (allocsPerAttempt, bytesPerAttempt float64, err error) {
-	inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend})
+	inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend, Shards: opts.Shards})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -411,7 +448,7 @@ const wallClockPasses = 3
 func measureWallClock(sc Scenario, opts Options) (WallClock, error) {
 	best := WallClock{}
 	for pass := 0; pass < wallClockPasses; pass++ {
-		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend})
+		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend, Shards: opts.Shards})
 		if err != nil {
 			return WallClock{}, err
 		}

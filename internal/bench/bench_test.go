@@ -18,7 +18,7 @@ func quickOpts(parallel int) Options {
 }
 
 func TestRegistryHasAllScenarios(t *testing.T) {
-	want := []string{"single-link", "chain-8", "grid-3x3", "chain-16", "e2e-4hop"}
+	want := []string{"single-link", "chain-8", "grid-3x3", "chain-16", "e2e-4hop", "chain-256", "dragonfly-d3"}
 	got := Scenarios()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d scenarios, want %d", len(got), len(want))

@@ -21,6 +21,11 @@ type RunConfig struct {
 	// dense default, so dense results (and pre-existing baselines) carry
 	// no backend field at all.
 	Backend string `json:"backend,omitempty"`
+	// Shards is the engine's worker shard count; absent for serial runs,
+	// so serial baselines carry no shards field. The deterministic
+	// counters sections are identical at any shard count — CI compares a
+	// sharded run's totals/rates against the committed serial baseline.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Rates are throughput figures in simulated time: fully deterministic for a

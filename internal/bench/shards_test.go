@@ -1,0 +1,59 @@
+package bench
+
+import "testing"
+
+// TestShardCountersMatchSerial: the bench counters a baseline commits are the
+// same numbers a sharded run reports — only the recorded engine config may
+// differ. This is the in-repo version of the CI gate that jq-diffs a
+// -shards 4 run against the committed serial baselines.
+func TestShardCountersMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine bench sweep in short mode")
+	}
+	for _, name := range []string{"chain-16", "dragonfly-d3"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, ok := ScenarioByName(name)
+			if !ok {
+				t.Fatalf("scenario %s not registered", name)
+			}
+			serial, err := Run(sc, quickOpts(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := quickOpts(2)
+			opts.Shards = 4
+			sharded, err := Run(sc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sharded.Totals != serial.Totals {
+				t.Errorf("totals differ:\nserial  %+v\nsharded %+v", serial.Totals, sharded.Totals)
+			}
+			if sharded.Rates != serial.Rates {
+				t.Errorf("rates differ:\nserial  %+v\nsharded %+v", serial.Rates, sharded.Rates)
+			}
+			if serial.Config.Shards != 0 {
+				t.Errorf("serial result must omit the shard count for baseline compatibility: %+v", serial.Config)
+			}
+			if sharded.Config.Shards != 4 {
+				t.Errorf("sharded result does not record its shard count: %+v", sharded.Config)
+			}
+		})
+	}
+}
+
+// TestE2EScenarioRejectsShards: the end-to-end service is serial-only; asking
+// for shards must fail loudly instead of silently running serial.
+func TestE2EScenarioRejectsShards(t *testing.T) {
+	sc, ok := ScenarioByName("e2e-4hop")
+	if !ok {
+		t.Fatal("e2e-4hop not registered")
+	}
+	opts := quickOpts(1)
+	opts.Shards = 2
+	if _, err := Run(sc, opts); err == nil {
+		t.Fatal("e2e scenario accepted a sharded engine")
+	}
+}

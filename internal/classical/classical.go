@@ -13,6 +13,7 @@ package classical
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -160,10 +161,16 @@ func (p TagPort) Delay() sim.Duration { return p.Under.Delay() }
 // per-tag handlers. It is the receive side of TagPort: a node registers one
 // handler per link ID and points every incoming channel's delivery function
 // at Deliver.
+//
+// The handler map is written only while the topology is being built; under
+// the sharded engine a boundary node's Mux is invoked from every shard that
+// owns one of the node's links, so the counters are atomic (each handler
+// itself only touches the state of the link it is registered for, which is
+// owned by the delivering shard).
 type Mux struct {
 	handlers map[uint64]func(Message)
-	routed   uint64
-	dropped  uint64
+	routed   atomic.Uint64
+	dropped  atomic.Uint64
 }
 
 // NewMux creates an empty demultiplexer.
@@ -185,27 +192,33 @@ func (m *Mux) Handle(tag uint64, h func(Message)) {
 func (m *Mux) Deliver(msg Message) {
 	tp, ok := msg.Payload.(TaggedPayload)
 	if !ok {
-		m.dropped++
+		m.dropped.Add(1)
 		return
 	}
 	h, ok := m.handlers[tp.Tag]
 	if !ok {
-		m.dropped++
+		m.dropped.Add(1)
 		return
 	}
-	m.routed++
+	m.routed.Add(1)
 	h(Message{Payload: tp.Payload, SentAt: msg.SentAt})
 }
 
 // Stats returns how many messages were routed to a handler and how many were
 // dropped for missing tags or untagged payloads.
-func (m *Mux) Stats() (routed, dropped uint64) { return m.routed, m.dropped }
+func (m *Mux) Stats() (routed, dropped uint64) { return m.routed.Load(), m.dropped.Load() }
 
 // Channel is a unidirectional, ordered, lossy message channel with a fixed
 // propagation delay, built on the discrete-event simulator.
+//
+// A channel works unchanged across shards of a sim.ShardedEngine when built
+// on a cross-shard engine, because its engine calls split cleanly by side:
+// Send draws the loss Bernoulli and schedules from the sender's context,
+// while Now is only consulted inside the delivery handler (receiver's
+// context) to recover the send time.
 type Channel struct {
 	Name     string
-	simul    *sim.Simulator
+	simul    sim.Engine
 	delay    sim.Duration
 	lossProb float64
 	deliver  func(Message)
@@ -221,7 +234,7 @@ type Channel struct {
 
 // NewChannel creates a channel delivering messages to the given handler
 // after delay, dropping each frame independently with probability lossProb.
-func NewChannel(name string, s *sim.Simulator, delay sim.Duration, lossProb float64, deliver func(Message)) *Channel {
+func NewChannel(name string, s sim.Engine, delay sim.Duration, lossProb float64, deliver func(Message)) *Channel {
 	if lossProb < 0 || lossProb > 1 {
 		panic("classical: loss probability out of [0,1]")
 	}
@@ -280,11 +293,39 @@ type Duplex struct {
 }
 
 // NewDuplex builds a symmetric duplex link between two handlers.
-func NewDuplex(name string, s *sim.Simulator, delay sim.Duration, lossProb float64, deliverAtB, deliverAtA func(Message)) *Duplex {
+func NewDuplex(name string, s sim.Engine, delay sim.Duration, lossProb float64, deliverAtB, deliverAtA func(Message)) *Duplex {
 	return &Duplex{
 		AtoB: NewChannel(name+"/a->b", s, delay, lossProb, deliverAtB),
 		BtoA: NewChannel(name+"/b->a", s, delay, lossProb, deliverAtA),
 	}
+}
+
+// NewDuplexOn builds a duplex link whose two directions run on separate
+// engines — the cross-shard case, where each direction is registered with
+// the sharded engine as its own edge.
+func NewDuplexOn(name string, sAB, sBA sim.Engine, delay sim.Duration, lossProb float64, deliverAtB, deliverAtA func(Message)) *Duplex {
+	return &Duplex{
+		AtoB: NewChannel(name+"/a->b", sAB, delay, lossProb, deliverAtB),
+		BtoA: NewChannel(name+"/b->a", sBA, delay, lossProb, deliverAtA),
+	}
+}
+
+// MinDelay returns the smallest propagation delay over the given ports — the
+// quantity a conservative sharded run uses as its safe lookahead horizon. It
+// panics on an empty port set (there is no meaningful minimum), and callers
+// partitioning a topology must reject a non-positive result before handing
+// the delay to sim.ShardedEngine.Cross.
+func MinDelay(ports ...Port) sim.Duration {
+	if len(ports) == 0 {
+		panic("classical: MinDelay of an empty port set")
+	}
+	min := ports[0].Delay()
+	for _, p := range ports[1:] {
+		if d := p.Delay(); d < min {
+			min = d
+		}
+	}
+	return min
 }
 
 // SetLossProbability updates both directions.

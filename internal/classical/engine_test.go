@@ -1,0 +1,59 @@
+package classical
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMinDelay(t *testing.T) {
+	s := sim.New(1)
+	a := NewChannel("a", s, 5*sim.Microsecond, 0, func(Message) {})
+	b := NewChannel("b", s, 2*sim.Microsecond, 0, func(Message) {})
+	c := TagPort{Tag: 7, Under: NewChannel("c", s, 9*sim.Microsecond, 0, func(Message) {})}
+	if got := MinDelay(a, b, c); got != 2*sim.Microsecond {
+		t.Fatalf("MinDelay = %v, want 2µs", got)
+	}
+	if got := MinDelay(a); got != 5*sim.Microsecond {
+		t.Fatalf("MinDelay of one port = %v, want its own delay", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinDelay() of no ports did not panic")
+		}
+	}()
+	MinDelay()
+}
+
+// TestDuplexOnSplitEngines drives a duplex whose two directions run on
+// different engines — the cross-shard construction — and checks each
+// direction delivers on its own engine with the correct delay and SentAt.
+func TestDuplexOnSplitEngines(t *testing.T) {
+	const delay = 3 * sim.Microsecond
+	e := sim.NewSharded(1, 2)
+	ab, err := e.Cross(0, 1, delay, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := e.Cross(1, 0, delay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atB, atA []sim.Duration
+	d := NewDuplexOn("x", ab, ba, delay, 0,
+		func(m Message) { atB = append(atB, ab.Now().Sub(m.SentAt)) },
+		func(m Message) { atA = append(atA, ba.Now().Sub(m.SentAt)) })
+	e.Shard(0).Schedule(0, func() { d.AtoB.Send("ping") })
+	e.Shard(1).Schedule(sim.Microsecond, func() { d.BtoA.Send("pong") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(atB) != 1 || len(atA) != 1 {
+		t.Fatalf("delivered %d a->b and %d b->a messages, want 1 and 1", len(atB), len(atA))
+	}
+	// SentAt must reconstruct the send time exactly even though the message
+	// changed shards between send and delivery.
+	if atB[0] != delay || atA[0] != delay {
+		t.Fatalf("measured latencies %v and %v, want %v", atB[0], atA[0], delay)
+	}
+}

@@ -88,7 +88,7 @@ type Config struct {
 	PeerID   uint32
 	IsMaster bool
 
-	Sim      *sim.Simulator
+	Sim      sim.Engine
 	Platform *nv.Platform
 	Device   *nv.Device
 	Sampler  *photonics.LinkSampler

@@ -82,7 +82,7 @@ func (it *QueueItem) Ready(cycle uint64) bool {
 type DistributedQueue struct {
 	nodeName string
 	isMaster bool
-	simul    *sim.Simulator
+	simul    sim.Engine
 	toPeer   classical.Port
 
 	maxLen int
@@ -132,7 +132,7 @@ type pendingAdd struct {
 type QueueConfig struct {
 	NodeName        string
 	IsMaster        bool
-	Sim             *sim.Simulator
+	Sim             sim.Engine
 	ToPeer          classical.Port
 	MaxLen          int // maximum items per priority lane (256 in the paper)
 	Window          int // fairness window W (maximum consecutive local enqueues)

@@ -165,7 +165,7 @@ type replyPayload struct {
 type Node struct {
 	Name string
 
-	simul    *sim.Simulator
+	simul    sim.Engine
 	gen      Generator
 	device   *nv.Device
 	registry *PairRegistry
@@ -188,7 +188,7 @@ type Node struct {
 // NodeConfig collects the parameters needed to construct a node-side MHP.
 type NodeConfig struct {
 	Name       string
-	Sim        *sim.Simulator
+	Sim        sim.Engine
 	Generator  Generator
 	Device     *nv.Device
 	Registry   *PairRegistry
@@ -344,7 +344,7 @@ func (n *Node) DropPending(olderThan uint64) {
 // from A and B in the same detection time window, consults the optical model
 // for the measurement outcome, and sends REPLY frames to both nodes.
 type Midpoint struct {
-	simul    *sim.Simulator
+	simul    sim.Engine
 	sampler  *photonics.LinkSampler
 	registry *PairRegistry
 
@@ -377,7 +377,7 @@ type Midpoint struct {
 
 // MidpointConfig collects the construction parameters of a Midpoint.
 type MidpointConfig struct {
-	Sim          *sim.Simulator
+	Sim          sim.Engine
 	Sampler      *photonics.LinkSampler
 	Registry     *PairRegistry
 	ToA          *classical.Channel

@@ -58,6 +58,13 @@ type Config struct {
 	// QueueSamplePeriod is how often per-link queue occupancy is sampled
 	// (default 50 ms of simulated time).
 	QueueSamplePeriod sim.Duration
+	// Shards selects the engine: ≤1 runs the network on the serial
+	// simulator (the default), >1 partitions the topology onto a
+	// sim.ShardedEngine with that many parallel worker shards. Results are
+	// identical either way: every link draws from its own ID-derived RNG
+	// stream and schedules on the shard owning it, so the per-link
+	// trajectories do not depend on the partitioning.
+	Shards int
 }
 
 // DefaultConfig returns the options used by the network-layer experiments:
@@ -92,6 +99,19 @@ type Link struct {
 	Registry         *mhp.PairRegistry
 	DeviceA, DeviceB *nv.Device
 
+	// Eng is the engine view this link's whole stack runs on: the shard
+	// that owns the link (the serial simulator when unsharded), with RNG()
+	// pinned to the link's own splitmix64-derived stream. Everything the
+	// link schedules or draws goes through Eng, which is what makes its
+	// trajectory independent of the shard count.
+	Eng sim.Engine
+	// Shard is the owning shard index (0 when unsharded).
+	Shard int
+	// Sampler is the link's private optical attempt sampler (its per-α
+	// cache, draw buffer and attempt counter are single-threaded state, so
+	// sharded links cannot share one).
+	Sampler *photonics.LinkSampler
+
 	// Collector aggregates this link's delivered pairs, latencies and queue
 	// samples; requests are accounted from the origin side only.
 	Collector *metrics.Collector
@@ -101,6 +121,7 @@ type Link struct {
 
 	nodeNameA, nodeNameB string
 	stopA, stopB         func()
+	stopSample           func()
 }
 
 // EGPFor returns the EGP instance playing the given role ("A" or "B").
@@ -179,15 +200,19 @@ func (n *Node) register(l *Link, e *egp.EGP) {
 	n.Mux.Handle(uint64(l.ID), func(m classical.Message) { e.HandlePeerMessage(m) })
 }
 
-// Network is a fully wired multi-link quantum network on one simulator.
+// Network is a fully wired multi-link quantum network on one engine: the
+// serial simulator by default, or a sharded engine when Config.Shards > 1.
 type Network struct {
 	Config   Config
-	Sim      *sim.Simulator
+	Sim      sim.Engine
 	Platform *nv.Platform
-	Sampler  *photonics.LinkSampler
 
 	Nodes []*Node
 	Links []*Link
+
+	// sharded/part are set when the network runs on a sharded engine.
+	sharded *sim.ShardedEngine
+	part    *Partition
 
 	// OnLinkOK, when set, observes every link-layer OK event (both
 	// endpoints, in delivery order) before the per-link metrics accounting.
@@ -199,12 +224,16 @@ type Network struct {
 	// pairChannels holds the shared node-to-node duplexes carrying tagged
 	// DQP/EGP traffic, keyed by the normalized node pair.
 	pairChannels map[Edge]*classical.Duplex
+	// netChannels holds the cross-shard node-to-node duplexes carrying
+	// network-layer frames over edges whose endpoints live in different
+	// shards, built lazily on the sharded engine's conservative cross
+	// channels.
+	netChannels map[Edge]*classical.Duplex
 	// linksByEdge indexes the links by their normalized endpoints.
 	linksByEdge map[Edge]*Link
 
-	traffic      *Traffic
-	stopSampling func()
-	started      bool
+	traffic *Traffic
+	started bool
 }
 
 // NetworkLayerTag is the mux tag reserved for network-layer frames riding the
@@ -229,13 +258,35 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if platform == nil {
 		platform = nv.NewPlatform(cfg.Scenario)
 	}
-	s := sim.New(cfg.Seed)
+	var (
+		eng     sim.Engine
+		sharded *sim.ShardedEngine
+		part    *Partition
+	)
+	if cfg.Shards > 1 {
+		var err error
+		part, err = MakePartition(cfg.Spec, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		// Fail at build time if any cross-shard edge's classical delay
+		// could not serve as a sound conservative lookahead.
+		if err := part.validateCrossDelays(platform.CommDelayAH + platform.CommDelayBH); err != nil {
+			return nil, err
+		}
+		sharded = sim.NewSharded(cfg.Seed, cfg.Shards)
+		eng = sharded
+	} else {
+		eng = sim.New(cfg.Seed)
+	}
 	nw := &Network{
 		Config:       cfg,
-		Sim:          s,
+		Sim:          eng,
 		Platform:     platform,
-		Sampler:      photonics.NewLinkSamplerBackend(platform.Optics, cfg.Backend),
+		sharded:      sharded,
+		part:         part,
 		pairChannels: make(map[Edge]*classical.Duplex),
+		netChannels:  make(map[Edge]*classical.Duplex),
 		linksByEdge:  make(map[Edge]*Link),
 	}
 
@@ -254,18 +305,54 @@ func NewNetwork(cfg Config) (*Network, error) {
 }
 
 // pairDuplex returns (building on first use) the shared classical duplex
-// between two adjacent nodes; both directions deliver into the destination
-// node's link registry.
-func (nw *Network) pairDuplex(e Edge) *classical.Duplex {
+// between the link's two endpoints; both directions deliver into the
+// destination node's link registry. The duplex runs on the link's own
+// engine: even on a cross-shard edge the per-link DQP/EGP handlers on both
+// nodes belong to the link's owning shard, so delivery stays shard-local.
+func (nw *Network) pairDuplex(l *Link) *classical.Duplex {
+	e := l.Edge
 	if d, ok := nw.pairChannels[e]; ok {
 		return d
 	}
 	a, b := nw.Nodes[e.A], nw.Nodes[e.B]
 	delay := nw.Platform.CommDelayAH + nw.Platform.CommDelayBH
-	d := classical.NewDuplex(fmt.Sprintf("%s<->%s", a.Name, b.Name), nw.Sim, delay, nw.Config.ClassicalLossProb,
+	d := classical.NewDuplex(fmt.Sprintf("%s<->%s", a.Name, b.Name), l.Eng, delay, nw.Config.ClassicalLossProb,
 		func(m classical.Message) { b.Mux.Deliver(m) },
 		func(m classical.Message) { a.Mux.Deliver(m) })
 	nw.pairChannels[e] = d
+	return d
+}
+
+// networkDuplex returns the duplex carrying network-layer frames over the
+// link's edge. Same-shard (and serial) edges reuse the pair duplex; an edge
+// whose endpoints live in different shards gets its own duplex built on the
+// sharded engine's conservative cross channels, so each direction's frames
+// are staged in a per-edge outbox and merged deterministically at window
+// barriers. Either way the frames deliver into the destination node's mux
+// on the shard owning that node.
+func (nw *Network) networkDuplex(l *Link) *classical.Duplex {
+	e := l.Edge
+	if nw.sharded == nil || nw.part.NodeShard[e.A] == nw.part.NodeShard[e.B] {
+		return nw.pairDuplex(l)
+	}
+	if d, ok := nw.netChannels[e]; ok {
+		return d
+	}
+	a, b := nw.Nodes[e.A], nw.Nodes[e.B]
+	sa, sb := nw.part.NodeShard[e.A], nw.part.NodeShard[e.B]
+	delay := nw.Platform.CommDelayAH + nw.Platform.CommDelayBH
+	// Directed cross channels sort by their registration key at window
+	// merges; deriving the key from the stable link ID keeps the merge
+	// order independent of construction order.
+	engAB, errAB := nw.sharded.Cross(sa, sb, delay, uint64(l.ID)*2)
+	engBA, errBA := nw.sharded.Cross(sb, sa, delay, uint64(l.ID)*2+1)
+	if errAB != nil || errBA != nil {
+		panic(fmt.Sprintf("netsim: cross-shard channel %s<->%s: %v%v", a.Name, b.Name, errAB, errBA))
+	}
+	d := classical.NewDuplexOn(fmt.Sprintf("%s<=>%s", a.Name, b.Name), engAB, engBA, delay, nw.Config.ClassicalLossProb,
+		func(m classical.Message) { b.Mux.Deliver(m) },
+		func(m classical.Message) { a.Mux.Deliver(m) })
+	nw.netChannels[e] = d
 	return d
 }
 
@@ -273,7 +360,6 @@ func (nw *Network) pairDuplex(e Edge) *classical.Duplex {
 // both endpoints with their nodes.
 func (nw *Network) buildLink(id LinkID, e Edge) {
 	cfg := nw.Config
-	s := nw.Sim
 	platform := nw.Platform
 	nodeA, nodeB := nw.Nodes[e.A], nw.Nodes[e.B]
 
@@ -283,9 +369,20 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 		Name:      fmt.Sprintf("%s-%s", nodeA.Name, nodeB.Name),
 		Registry:  mhp.NewPairRegistry(),
 		Collector: metrics.NewCollector(0),
+		Sampler:   photonics.NewLinkSamplerBackend(platform.Optics, cfg.Backend),
 		nodeNameA: nodeA.Name,
 		nodeNameB: nodeB.Name,
 	}
+	// The link's whole stack runs on the shard owning it, drawing from the
+	// link's own RNG stream keyed by the stable link ID — the trajectory is
+	// therefore the same whether the engine has 1 shard or N.
+	base := nw.Sim
+	if nw.sharded != nil {
+		l.Shard = nw.part.LinkShard[id]
+		base = nw.sharded.Shard(l.Shard)
+	}
+	l.Eng = sim.WithRNG(base, sim.NewRNG(sim.DeriveSeed(cfg.Seed, 0x11c4, uint64(id))))
+	s := l.Eng
 	l.DeviceA = nv.NewDevice(fmt.Sprintf("%s/%s", nodeA.Name, l.Name), platform.Gates, platform.CarbonCoupling, platform.MemoryQubits)
 	l.DeviceB = nv.NewDevice(fmt.Sprintf("%s/%s", nodeB.Name, l.Name), platform.Gates, platform.CarbonCoupling, platform.MemoryQubits)
 
@@ -298,7 +395,7 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 
 	// Node-to-node DQP/EGP traffic multiplexes over the shared pair duplex,
 	// tagged with the link ID; the receiving node's registry dispatches it.
-	duplex := nw.pairDuplex(e)
+	duplex := nw.pairDuplex(l)
 	portA := classical.TagPort{Tag: uint64(id), Under: duplex.AtoB}
 	portB := classical.TagPort{Tag: uint64(id), Under: duplex.BtoA}
 
@@ -311,7 +408,7 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 			Sim:                  s,
 			Platform:             platform,
 			Device:               device,
-			Sampler:              nw.Sampler,
+			Sampler:              l.Sampler,
 			Registry:             l.Registry,
 			Side:                 side,
 			Scheduler:            egp.NewScheduler(cfg.Scheduler),
@@ -345,7 +442,7 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 		CycleTimeM: platform.CycleTime[nv.RequestMeasure],
 	})
 	l.Mid = mhp.NewMidpoint(mhp.MidpointConfig{
-		Sim: s, Sampler: nw.Sampler, Registry: l.Registry,
+		Sim: s, Sampler: l.Sampler, Registry: l.Registry,
 		ToA: chanHtoA, ToB: chanHtoB, WindowCycles: 1,
 		HoldTime: 2*(platform.CommDelayAH+platform.CommDelayBH) + 200*sim.Microsecond,
 	})
@@ -377,12 +474,28 @@ func (nw *Network) NetworkPort(from, to int) (classical.Port, bool) {
 	if l == nil {
 		return nil, false
 	}
-	d := nw.pairDuplex(l.Edge)
+	d := nw.networkDuplex(l)
 	ch := d.AtoB
 	if from == l.Edge.B {
 		ch = d.BtoA
 	}
 	return classical.TagPort{Tag: NetworkLayerTag, Under: ch}, true
+}
+
+// Sharded returns the underlying sharded engine, or nil when the network
+// runs on the serial simulator.
+func (nw *Network) Sharded() *sim.ShardedEngine { return nw.sharded }
+
+// Partition returns the node/link partition, or nil when unsharded.
+func (nw *Network) Partition() *Partition { return nw.part }
+
+// Attempts returns the total entanglement attempts sampled across all links.
+func (nw *Network) Attempts() uint64 {
+	var n uint64
+	for _, l := range nw.Links {
+		n += l.Sampler.Attempts()
+	}
+	return n
 }
 
 // AttachTraffic installs a Poisson traffic generator; it starts and stops
@@ -402,12 +515,15 @@ func (nw *Network) Start() {
 	for _, l := range nw.Links {
 		l.stopA = l.MHPA.Start()
 		l.stopB = l.MHPB.Start()
+		// One sampling ticker per link, on the link's own shard: the event
+		// schedule of each link is then identical at every shard count (a
+		// single global ticker would both race across shards and give the
+		// sharded run a different event census than the serial one).
+		link := l
+		l.stopSample = l.Eng.Ticker(nw.Config.QueueSamplePeriod, func() {
+			link.Collector.SampleQueueLength(link.EGPA.Queue().TotalLen())
+		})
 	}
-	nw.stopSampling = nw.Sim.Ticker(nw.Config.QueueSamplePeriod, func() {
-		for _, l := range nw.Links {
-			l.Collector.SampleQueueLength(l.EGPA.Queue().TotalLen())
-		}
-	})
 	if nw.traffic != nil {
 		nw.traffic.Start()
 	}
@@ -422,10 +538,10 @@ func (nw *Network) Stop() {
 		if l.stopB != nil {
 			l.stopB()
 		}
-	}
-	if nw.stopSampling != nil {
-		nw.stopSampling()
-		nw.stopSampling = nil
+		if l.stopSample != nil {
+			l.stopSample()
+			l.stopSample = nil
+		}
 	}
 	if nw.traffic != nil {
 		nw.traffic.Stop()
@@ -450,7 +566,10 @@ func (nw *Network) Submit(l *Link, role string, req egp.CreateRequest) (uint16, 
 	id, code := e.Create(req)
 	if code == wire.ErrNone {
 		l.Submitted++
-		l.Collector.RequestSubmitted(requestKey(role, id), req.Priority, l.nodeName(role), req.NumPairs, nw.Sim.Now())
+		// The link's own clock, not the network engine's: under sharding a
+		// submission fires on the owning shard's loop, where the engine-wide
+		// clock is a stale barrier time.
+		l.Collector.RequestSubmitted(requestKey(role, id), req.Priority, l.nodeName(role), req.NumPairs, l.Eng.Now())
 	}
 	return id, code
 }

@@ -116,7 +116,7 @@ func TestChainDeliversPairs(t *testing.T) {
 // TestLinkRegistryRouting checks that the per-node mux actually routed the
 // DQP/EGP traffic of every link and dropped nothing.
 func TestLinkRegistryRouting(t *testing.T) {
-	nw := runSmall(t, Star(4), 11, 0.4)
+	nw := runSmall(t, Star(4), 7, 0.4)
 	centre := nw.Nodes[0]
 	if centre.Degree() != 3 {
 		t.Fatalf("centre degree %d, want 3", centre.Degree())

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nv"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+)
+
+// runSharded builds and runs one network at the given shard count and
+// returns its rendered stats plus the deterministic work counters.
+func runSharded(t *testing.T, spec Spec, backend quantum.Backend, shards int, seconds float64) (string, uint64, uint64) {
+	t.Helper()
+	cfg := DefaultConfig(spec, nv.ScenarioLab)
+	cfg.Seed = 5
+	cfg.Backend = backend
+	cfg.Shards = shards
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.AttachTraffic(TrafficConfig{Load: 0.7, MaxPairs: 2, MinFidelity: 0.64})
+	nw.Run(sim.DurationSeconds(seconds))
+	perLink, agg := nw.Stats()
+	return render(perLink, agg), nw.Sim.Executed(), nw.Attempts()
+}
+
+// TestSerialShardedParity is the acceptance check of the sharded engine: the
+// experiment tables and the deterministic work counters must be byte-identical
+// between the serial engine and the sharded engine at every shard count, on
+// both pair-state backends. Partitioning is a performance decision, never a
+// results decision.
+func TestSerialShardedParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-topology parity sweep in short mode")
+	}
+	cases := []struct {
+		spec    Spec
+		seconds float64
+	}{
+		{Chain(16), 0.15},
+		{Dragonfly(4, 5), 0.08},
+	}
+	for _, c := range cases {
+		for _, backend := range []quantum.Backend{quantum.BackendDense, quantum.BackendBellDiagonal} {
+			c, backend := c, backend
+			t.Run(fmt.Sprintf("%s/%s", c.spec.Name, backend), func(t *testing.T) {
+				t.Parallel()
+				refStats, refEvents, refAttempts := runSharded(t, c.spec, backend, 1, c.seconds)
+				if refEvents == 0 || refAttempts == 0 {
+					t.Fatalf("serial reference did no work: %d events, %d attempts", refEvents, refAttempts)
+				}
+				for _, shards := range []int{2, 4} {
+					stats, events, attempts := runSharded(t, c.spec, backend, shards, c.seconds)
+					if stats != refStats {
+						t.Errorf("%d shards: stats diverge from serial\n--- serial ---\n%s--- %d shards ---\n%s", shards, refStats, shards, stats)
+					}
+					if events != refEvents {
+						t.Errorf("%d shards: executed %d events, serial executed %d", shards, events, refEvents)
+					}
+					if attempts != refAttempts {
+						t.Errorf("%d shards: sampled %d attempts, serial sampled %d", shards, attempts, refAttempts)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedUsesAllShards guards against a silent fallback to one worker:
+// the sharded build must spread the links of a chain across every shard.
+func TestShardedUsesAllShards(t *testing.T) {
+	cfg := DefaultConfig(Chain(16), nv.ScenarioLab)
+	cfg.Seed = 5
+	cfg.Shards = 4
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Sharded() == nil || nw.Sharded().Shards() != 4 {
+		t.Fatal("Shards=4 config did not build a 4-shard engine")
+	}
+	used := map[int]bool{}
+	for _, l := range nw.Links {
+		used[l.Shard] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("links landed on %d of 4 shards", len(used))
+	}
+}
+
+// TestShardedRejectsBadShardCounts: the partition errors must surface through
+// NewNetwork rather than panic later.
+func TestShardedRejectsBadShardCounts(t *testing.T) {
+	cfg := DefaultConfig(Chain(4), nv.ScenarioLab)
+	cfg.Shards = 5 // more shards than nodes
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Fatal("5 shards on 4 nodes accepted")
+	}
+}

@@ -78,6 +78,40 @@ func Grid(rows, cols int) Spec {
 	return s
 }
 
+// Dragonfly returns the D3(K,M) dragonfly of "The Swapped Dragonfly": M
+// groups of K routers each, every group a complete graph, and exactly one
+// global link between every pair of groups. Group g's global link to group
+// h is terminated by router g·K + port, where the port cycles round-robin
+// over the group's routers — so global links spread evenly and every router
+// terminates at most ⌈(M−1)/K⌉ of them. Node indices are group-major
+// (router r of group g is g·K + r), which keeps groups contiguous and lets
+// the contiguous-block partitioner cut only global links.
+func Dragonfly(k, m int) Spec {
+	if k < 2 || m < 2 {
+		panic(fmt.Sprintf("netsim: dragonfly needs K ≥ 2 routers per group and M ≥ 2 groups, got K=%d M=%d", k, m))
+	}
+	s := Spec{Name: fmt.Sprintf("dragonfly-%dx%d", k, m), Nodes: k * m}
+	for g := 0; g < m; g++ {
+		base := g * k
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				s.Edges = append(s.Edges, Edge{A: base + i, B: base + j})
+			}
+		}
+	}
+	// One global link per group pair; port[g] walks round-robin over group
+	// g's routers as its global links are laid down in peer order.
+	port := make([]int, m)
+	for g := 0; g < m; g++ {
+		for h := g + 1; h < m; h++ {
+			s.Edges = append(s.Edges, Edge{A: g*k + port[g], B: h*k + port[h]})
+			port[g] = (port[g] + 1) % k
+			port[h] = (port[h] + 1) % k
+		}
+	}
+	return s
+}
+
 // FromEdges returns a spec over an explicit edge list; the node count is
 // inferred from the largest index referenced.
 func FromEdges(edges []Edge) Spec {
@@ -108,6 +142,20 @@ func SpecFromFlags(topology string, nodes int, edgeList string) (Spec, error) {
 			return Spec{}, fmt.Errorf("grid topology needs a square node count, got %d", nodes)
 		}
 		return Grid(side, side), nil
+	case "dragonfly":
+		// Smallest K with K(K−1)/2 ≥ … is not unique, so pick the most
+		// balanced K·M = nodes split: the largest divisor K ≤ √nodes with a
+		// valid cofactor, favouring square-ish groups.
+		best := 0
+		for k := 2; k*k <= nodes; k++ {
+			if nodes%k == 0 && nodes/k >= 2 {
+				best = k
+			}
+		}
+		if best == 0 {
+			return Spec{}, fmt.Errorf("dragonfly topology needs a node count with a K·M factorisation (K,M ≥ 2), got %d", nodes)
+		}
+		return Dragonfly(best, nodes/best), nil
 	case "edges":
 		edges, err := ParseEdgeList(edgeList)
 		if err != nil {
@@ -115,7 +163,7 @@ func SpecFromFlags(topology string, nodes int, edgeList string) (Spec, error) {
 		}
 		return FromEdges(edges), nil
 	default:
-		return Spec{}, fmt.Errorf("unknown topology %q (chain|star|grid|edges)", topology)
+		return Spec{}, fmt.Errorf("unknown topology %q (chain|star|grid|dragonfly|edges)", topology)
 	}
 }
 

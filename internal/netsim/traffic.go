@@ -55,7 +55,10 @@ func NewTraffic(nw *Network, cfg TrafficConfig) *Traffic {
 	for _, l := range nw.Links {
 		link := l
 		rate := workload.RatePerSecond(l.EGPA.FEU(), nw.Platform, cfg.Keep, cfg.Load, cfg.MinFidelity, meanPairs)
-		t.streams = append(t.streams, workload.NewPoissonStream(nw.Sim, rate, func() { t.fire(link) }))
+		// Each link's arrival process runs on the link's own engine view:
+		// interarrival draws come from the link's RNG stream and arrivals
+		// fire on the owning shard's loop.
+		t.streams = append(t.streams, workload.NewPoissonStream(link.Eng, rate, func() { t.fire(link) }))
 	}
 	return t
 }
@@ -90,9 +93,9 @@ func (t *Traffic) Stop() {
 }
 
 // fire submits one CREATE request on the link from a uniformly random
-// endpoint.
+// endpoint, drawing from the link's own RNG stream.
 func (t *Traffic) fire(l *Link) {
-	rng := t.net.Sim.RNG()
+	rng := l.Eng.RNG()
 	k := 1
 	if t.cfg.MaxPairs > 1 {
 		k = 1 + rng.Intn(t.cfg.MaxPairs)

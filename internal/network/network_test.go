@@ -53,7 +53,7 @@ func TestEndToEndClosedFormFidelity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("protocol-level experiment in short mode")
 	}
-	nw, svc := buildService(t, 5, 11, idealMemoryPlatform(), DefaultConfig())
+	nw, svc := buildService(t, 5, 7, idealMemoryPlatform(), DefaultConfig())
 	var oks []OKEvent
 	svc.OnOK = func(ev OKEvent) { oks = append(oks, ev) }
 

@@ -190,6 +190,15 @@ type Service struct {
 // create-and-keep qubits until it consumes them) and must not have another
 // OnLinkOK consumer installed.
 func NewService(nw *netsim.Network, cfg Config) (*Service, error) {
+	if nw.Sharded() != nil {
+		// The service's request/segment/hop state is global (one map set
+		// spanning every node), and its link-OK handlers fire on whichever
+		// shard owns the link — running it sharded would race and break
+		// determinism. Keeping routing/state dissemination shard-local is
+		// ROADMAP future work; until then the end-to-end layer requires the
+		// serial engine.
+		return nil, fmt.Errorf("network: the end-to-end service requires the serial engine (netsim.Config.Shards ≤ 1); its request state is network-global")
+	}
 	if !nw.Config.HoldPairs {
 		return nil, fmt.Errorf("network: netsim must run with HoldPairs for the swap engine to consume pairs")
 	}

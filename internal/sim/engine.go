@@ -1,0 +1,99 @@
+package sim
+
+// Engine is the scheduling surface of a discrete-event simulation core. It
+// is extracted from Simulator so that protocol entities (channels, EGP/MHP
+// instances, traffic streams, tickers) can run unchanged on either the
+// serial Simulator — still the default — or on one shard of a ShardedEngine,
+// where every entity schedules against the event loop of the shard that owns
+// its state.
+//
+// The contract every implementation honours:
+//
+//   - Events fire in nondecreasing (time, insertion order) within one
+//     engine; ties are broken deterministically.
+//   - Now() is the timestamp of the event being executed while inside a
+//     callback, and the last reached barrier/run limit outside one.
+//   - RNG() is the deterministic random source entities should draw from.
+//     Entities that must stay reproducible independent of how the topology
+//     is sharded are given a stream-pinned view via WithRNG.
+type Engine interface {
+	// Now returns the current simulated time.
+	Now() Time
+	// RNG returns the engine's deterministic random source.
+	RNG() *RNG
+	// Schedule registers fn to run after delay (negative delays clamp to 0).
+	Schedule(delay Duration, fn Handler) EventID
+	// ScheduleAt registers fn to run at an absolute time (past times clamp
+	// to the present).
+	ScheduleAt(at Time, fn Handler) EventID
+	// ScheduleArg registers an argument-carrying event (see ArgHandler).
+	ScheduleArg(delay Duration, fn ArgHandler, arg any) EventID
+	// Ticker invokes fn every period until the returned stop function is
+	// called or the simulation ends.
+	Ticker(period Duration, fn Handler) (stop func())
+	// Run executes events until none remain or Stop is called.
+	Run() error
+	// RunUntil executes events until the clock would pass t.
+	RunUntil(t Time) error
+	// RunFor executes events for d simulated time from the current clock.
+	RunFor(d Duration) error
+	// Stop halts the run in progress.
+	Stop()
+	// Executed reports how many events have fired since construction.
+	Executed() uint64
+	// Pending reports how many events are scheduled and not yet fired.
+	Pending() int
+}
+
+// Compile-time checks that both engine flavours satisfy the interface.
+var (
+	_ Engine = (*Simulator)(nil)
+	_ Engine = (*ShardedEngine)(nil)
+	_ Engine = (*rngEngine)(nil)
+	_ Engine = (*crossEngine)(nil)
+)
+
+// WithRNG returns a view of eng whose RNG() is the given stream instead of
+// the engine's own. Scheduling, time and counters pass straight through.
+//
+// This is how per-entity random streams are pinned: a netsim link draws all
+// of its randomness (channel loss, optical sampling, readout) from a stream
+// derived from its stable link ID, so its trajectory is byte-identical no
+// matter which shard — or how many shards — the topology is split into.
+func WithRNG(eng Engine, rng *RNG) Engine {
+	if rng == nil {
+		panic("sim: WithRNG needs a non-nil RNG")
+	}
+	return &rngEngine{Engine: eng, rng: rng}
+}
+
+type rngEngine struct {
+	Engine
+	rng *RNG
+}
+
+func (e *rngEngine) RNG() *RNG { return e.rng }
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix in which every input bit affects roughly half the output
+// bits (the same derivation scheme internal/experiments uses for per-trial
+// seeds).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed chains the base seed with any number of stream coordinates
+// through splitmix64, decorrelating nearby streams (unlike additive
+// derivation, where (link 3, seed s) and (link 2, seed s+1) would collide).
+// netsim uses it to give every link its own RNG stream keyed by the stable
+// link ID.
+func DeriveSeed(base int64, words ...uint64) int64 {
+	h := splitmix64(uint64(base))
+	for _, w := range words {
+		h = splitmix64(h ^ w)
+	}
+	return int64(h)
+}

@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// pingPongSharded bounces a counter between shard 0 and shard 1 over a
+// cross-shard duplex with the given one-way delay and returns the delivery
+// log: one "t=<time> n=<count>" line per delivery, in execution order.
+func pingPongSharded(t *testing.T, seed int64, delay Duration, rounds int) []string {
+	t.Helper()
+	e := NewSharded(seed, 2)
+	ab, err := e.Cross(0, 1, delay, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := e.Cross(1, 0, delay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []string
+	var deliverAtA, deliverAtB ArgHandler
+	deliverAtB = func(arg any) {
+		n := arg.(int)
+		log = append(log, fmt.Sprintf("t=%d n=%d", ab.Now(), n))
+		if n < rounds {
+			ba.ScheduleArg(delay, deliverAtA, n+1)
+		}
+	}
+	deliverAtA = func(arg any) {
+		n := arg.(int)
+		log = append(log, fmt.Sprintf("t=%d n=%d", ba.Now(), n))
+		if n < rounds {
+			ab.ScheduleArg(delay, deliverAtB, n+1)
+		}
+	}
+	// Seed the exchange from shard 0's own loop at t=0.
+	e.Shard(0).Schedule(0, func() { ab.ScheduleArg(delay, deliverAtB, 1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// pingPongSerial is the same exchange modelled on one serial Simulator; it is
+// the reference the sharded run must reproduce exactly.
+func pingPongSerial(t *testing.T, seed int64, delay Duration, rounds int) []string {
+	t.Helper()
+	s := New(seed)
+	var log []string
+	var bounce ArgHandler
+	bounce = func(arg any) {
+		n := arg.(int)
+		log = append(log, fmt.Sprintf("t=%d n=%d", s.Now(), n))
+		if n < rounds {
+			s.ScheduleArg(delay, bounce, n+1)
+		}
+	}
+	s.Schedule(0, func() { s.ScheduleArg(delay, bounce, 1) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestShardedPingPongMatchesSerial is the core conservative-sync check: a
+// message bouncing between two shards is delivered at exactly the same
+// simulated times, in the same order, as the serial model of the same
+// exchange — the barrier windows are invisible in the results.
+func TestShardedPingPongMatchesSerial(t *testing.T) {
+	const delay = Duration(Millisecond)
+	const rounds = 20
+	want := pingPongSerial(t, 1, delay, rounds)
+	got := pingPongSharded(t, 1, delay, rounds)
+	if len(want) != rounds {
+		t.Fatalf("serial reference logged %d deliveries, want %d", len(want), rounds)
+	}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("delivery %d: sharded %q != serial %q\nsharded: %v\nserial: %v", i, got[i], want[i], got, want)
+		}
+	}
+	// The exchange is strictly paced by the channel delay.
+	if want[0] != fmt.Sprintf("t=%d n=1", delay) {
+		t.Fatalf("first delivery %q, want t=%d n=1", want[0], delay)
+	}
+}
+
+// TestShardedRunRepeatable runs the identical sharded exchange twice and
+// requires identical logs: goroutine timing must never leak into results.
+func TestShardedRunRepeatable(t *testing.T) {
+	a := pingPongSharded(t, 7, Duration(Microsecond), 50)
+	b := pingPongSharded(t, 7, Duration(Microsecond), 50)
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardedMergeOrder checks the barrier merge's deterministic order for
+// same-timestamp arrivals: first by edge key, then by send order within an
+// edge, regardless of which source shard finished its window first.
+func TestShardedMergeOrder(t *testing.T) {
+	const delay = Duration(Millisecond)
+	e := NewSharded(1, 3)
+	// Two edges into shard 0 with deliberately inverted key order: the edge
+	// from shard 2 gets the smaller key, so its arrivals must execute first.
+	fromS1, err := e.Cross(1, 0, delay, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromS2, err := e.Cross(2, 0, delay, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	record := func(arg any) { order = append(order, arg.(string)) }
+	// Both source shards send two messages with identical timestamps.
+	e.Shard(1).Schedule(0, func() {
+		fromS1.ScheduleArg(delay, record, "key9-first")
+		fromS1.ScheduleArg(delay, record, "key9-second")
+	})
+	e.Shard(2).Schedule(0, func() {
+		fromS2.ScheduleArg(delay, record, "key3-first")
+		fromS2.ScheduleArg(delay, record, "key3-second")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"key3-first", "key3-second", "key9-first", "key9-second"}
+	if len(order) != len(want) {
+		t.Fatalf("executed %d deliveries, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("merge order %v, want %v", order, want)
+		}
+	}
+	if e.Merged() != 4 {
+		t.Fatalf("Merged() = %d, want 4", e.Merged())
+	}
+}
+
+func TestCrossRegistrationRejections(t *testing.T) {
+	e := NewSharded(1, 2)
+	cases := []struct {
+		name     string
+		src, dst int
+		delay    Duration
+	}{
+		{"zero delay", 0, 1, 0},
+		{"negative delay", 0, 1, -1},
+		{"same shard", 0, 0, Duration(Millisecond)},
+		{"src out of range", 5, 1, Duration(Millisecond)},
+		{"dst out of range", 0, -1, Duration(Millisecond)},
+	}
+	for _, c := range cases {
+		if _, err := e.Cross(c.src, c.dst, c.delay, 1); err == nil {
+			t.Errorf("%s: Cross accepted an invalid edge", c.name)
+		}
+	}
+	// Registration after the engine has run is rejected: the lookahead is
+	// frozen once windows have been computed from it.
+	if err := e.RunFor(Duration(Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cross(0, 1, Duration(Millisecond), 1); err == nil {
+		t.Error("Cross accepted a registration after the engine started running")
+	}
+}
+
+func TestCrossSendBelowMinimumPanics(t *testing.T) {
+	e := NewSharded(1, 2)
+	c, err := e.Cross(0, 1, Duration(Millisecond), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard send below the registered minimum did not panic")
+		}
+	}()
+	c.ScheduleArg(Duration(Microsecond), func(any) {}, nil)
+}
+
+// TestShardedLookahead checks the lookahead tracks the minimum registered
+// delay and stays infinite with no cross edges.
+func TestShardedLookahead(t *testing.T) {
+	e := NewSharded(1, 3)
+	if e.Lookahead() != noLookahead {
+		t.Fatalf("fresh engine lookahead %v, want unbounded", e.Lookahead())
+	}
+	if _, err := e.Cross(0, 1, 5*Duration(Millisecond), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cross(1, 2, 2*Duration(Millisecond), 2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Lookahead() != 2*Duration(Millisecond) {
+		t.Fatalf("lookahead %v, want the minimum registered delay %v", e.Lookahead(), 2*Duration(Millisecond))
+	}
+}
+
+// TestShardedRunUntilAdvancesClock mirrors the serial contract: after
+// RunUntil the engine-wide clock sits exactly at the limit, even when the
+// queues drained early, and independent shards both reach it.
+func TestShardedRunUntilAdvancesClock(t *testing.T) {
+	e := NewSharded(1, 2)
+	fired := [2]Time{}
+	e.Shard(0).Schedule(Duration(Millisecond), func() { fired[0] = e.Shard(0).Now() })
+	e.Shard(1).Schedule(2*Duration(Millisecond), func() { fired[1] = e.Shard(1).Now() })
+	limit := Time(DurationSeconds(0.01))
+	if err := e.RunUntil(limit); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != limit {
+		t.Fatalf("Now() = %v after RunUntil(%v)", e.Now(), limit)
+	}
+	if fired[0] != Time(Millisecond) || fired[1] != Time(2*Millisecond) {
+		t.Fatalf("events fired at %v, want 1ms and 2ms", fired)
+	}
+	if e.Executed() != 2 {
+		t.Fatalf("Executed() = %d, want 2", e.Executed())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+// TestShardedWindowsBoundedByLookahead forces many windows: with lookahead L
+// and events spread over many L, RunUntil still fires everything at the right
+// times.
+func TestShardedWindowsBoundedByLookahead(t *testing.T) {
+	const delay = Duration(Microsecond)
+	e := NewSharded(1, 2)
+	c, err := e.Cross(0, 1, delay, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []Time
+	// A periodic sender on shard 0 fires 10 cross-shard sends a millisecond
+	// apart — each send lands in a different window.
+	for i := 1; i <= 10; i++ {
+		at := Time(i) * Time(Millisecond)
+		e.Shard(0).ScheduleAt(at, func() {
+			c.ScheduleArg(delay, func(any) { arrivals = append(arrivals, c.Now()) }, nil)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 10 {
+		t.Fatalf("delivered %d cross-shard messages, want 10", len(arrivals))
+	}
+	for i, at := range arrivals {
+		want := Time(i+1)*Time(Millisecond) + Time(delay)
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestShardedStop: Stop takes effect at the next window barrier, so the test
+// bounds the windows with a registered cross edge (with unbounded lookahead a
+// run is a single window and only finishes on its own).
+func TestShardedStop(t *testing.T) {
+	e := NewSharded(1, 2)
+	if _, err := e.Cross(0, 1, Duration(Millisecond), 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Shard(0).Schedule(Duration(Millisecond), func() { e.Stop() })
+	e.Shard(1).Schedule(3600*Duration(Second), func() { t.Error("event fired after Stop") })
+	err := e.RunUntil(Time(7200 * Second))
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("RunUntil returned %v, want ErrStopped", err)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("the far-future event should survive the stop")
+	}
+}
+
+func TestShardedEngineRestrictedSurface(t *testing.T) {
+	e := NewSharded(1, 2)
+	c, err := e.Cross(0, 1, Duration(Millisecond), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("ShardedEngine.RNG", func() { e.RNG() })
+	expectPanic("ShardedEngine.Schedule", func() { e.Schedule(0, func() {}) })
+	expectPanic("ShardedEngine.ScheduleAt", func() { e.ScheduleAt(0, func() {}) })
+	expectPanic("ShardedEngine.ScheduleArg", func() { e.ScheduleArg(0, func(any) {}, nil) })
+	expectPanic("ShardedEngine.Ticker", func() { e.Ticker(Duration(Millisecond), func() {}) })
+	expectPanic("crossEngine.Schedule", func() { c.Schedule(0, func() {}) })
+	expectPanic("crossEngine.ScheduleAt", func() { c.ScheduleAt(0, func() {}) })
+	expectPanic("crossEngine.Ticker", func() { c.Ticker(Duration(Millisecond), func() {}) })
+	expectPanic("crossEngine.Run", func() { c.Run() })
+	expectPanic("crossEngine.RunUntil", func() { c.RunUntil(0) })
+	expectPanic("crossEngine.RunFor", func() { c.RunFor(0) })
+	expectPanic("crossEngine.Stop", func() { c.Stop() })
+	expectPanic("crossEngine.Executed", func() { c.Executed() })
+	expectPanic("crossEngine.Pending", func() { c.Pending() })
+}
+
+func TestNewShardedRejectsZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharded(1, 0) did not panic")
+		}
+	}()
+	NewSharded(1, 0)
+}
+
+// TestWithRNG pins a private stream onto an engine view and checks both that
+// draws come from the pinned stream and that scheduling passes through.
+func TestWithRNG(t *testing.T) {
+	s := New(1)
+	pinned := WithRNG(s, NewRNG(42))
+	reference := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if got, want := pinned.RNG().Float64(), reference.Float64(); got != want {
+			t.Fatalf("draw %d: pinned stream %v, want %v", i, got, want)
+		}
+	}
+	fired := false
+	pinned.Schedule(Duration(Millisecond), func() { fired = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event scheduled through the RNG view never fired")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithRNG(nil) did not panic")
+		}
+	}()
+	WithRNG(s, nil)
+}
+
+// TestDeriveSeed checks the properties the per-link streams rely on:
+// determinism, sensitivity to every coordinate, and no additive collisions.
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, 2, 3) != DeriveSeed(1, 2, 3) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	seen := map[int64]string{}
+	for base := int64(0); base < 8; base++ {
+		for w := uint64(0); w < 8; w++ {
+			s := DeriveSeed(base, w)
+			id := fmt.Sprintf("(%d,%d)", base, w)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s and %s", prev, id)
+			}
+			seen[s] = id
+		}
+	}
+	if DeriveSeed(1, 2, 3) == DeriveSeed(1, 3, 2) {
+		t.Fatal("DeriveSeed ignores coordinate order")
+	}
+}
+
+// TestShardedNoCrossRunsIndependently: with no cross edges the lookahead is
+// unbounded and a Run is one window — both shards drain fully in parallel.
+func TestShardedNoCrossRunsIndependently(t *testing.T) {
+	e := NewSharded(1, 4)
+	total := 0
+	for i := 0; i < 4; i++ {
+		s := e.Shard(i)
+		for j := 0; j < 25; j++ {
+			s.Schedule(Duration(j)*Duration(Millisecond), func() {})
+			total++
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed() != uint64(total) {
+		t.Fatalf("Executed() = %d, want %d", e.Executed(), total)
+	}
+	if e.Merged() != 0 {
+		t.Fatalf("Merged() = %d with no cross edges", e.Merged())
+	}
+}

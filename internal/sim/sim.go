@@ -285,6 +285,32 @@ func (s *Simulator) ScheduleArg(delay Duration, fn ArgHandler, arg any) EventID 
 	return EventID{s: s, ev: ev, gen: ev.gen}
 }
 
+// ScheduleArgAt registers an argument-carrying event at absolute time at
+// (clamped to the present, like ScheduleAt). The sharded engine's barrier
+// merge uses it to inject cross-shard deliveries with their original arrival
+// timestamps.
+func (s *Simulator) ScheduleArgAt(at Time, fn ArgHandler, arg any) EventID {
+	if at < s.now {
+		at = s.now
+	}
+	ev := s.newEvent(at, nil)
+	ev.argFn = fn
+	ev.arg = arg
+	heap.Push(&s.queue, ev)
+	return EventID{s: s, ev: ev, gen: ev.gen}
+}
+
+// nextEventAt returns the timestamp of the earliest pending event. The head
+// may be a cancelled event, so the result is a lower bound on the next event
+// that will actually fire — which is the safe direction for the sharded
+// engine's window computation.
+func (s *Simulator) nextEventAt() (Time, bool) {
+	if s.queue.Len() == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
 // Stop halts the simulation; Run and RunUntil return promptly after the
 // current event completes.
 func (s *Simulator) Stop() { s.stopped = true }

@@ -61,7 +61,7 @@ func RatePerSecond(feu *egp.FidelityEstimationUnit, platform *nv.Platform, keep 
 // before a Stop die on a generation check instead of rescheduling alongside
 // the fresh chain (which would double the offered load after a restart).
 type PoissonStream struct {
-	sim  *sim.Simulator
+	sim  sim.Engine
 	rate float64
 	fire func()
 
@@ -72,7 +72,7 @@ type PoissonStream struct {
 
 // NewPoissonStream builds a stream firing at the given rate (arrivals per
 // simulated second). A non-positive rate yields a stream that never fires.
-func NewPoissonStream(s *sim.Simulator, rate float64, fire func()) *PoissonStream {
+func NewPoissonStream(s sim.Engine, rate float64, fire func()) *PoissonStream {
 	return &PoissonStream{sim: s, rate: rate, fire: fire}
 }
 
