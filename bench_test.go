@@ -235,7 +235,7 @@ func BenchmarkEventLoop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := sim.New(1)
 		count := 0
-		s.Ticker(10*sim.Microsecond, func() { count++ })
+		sim.Ticker(s, 10*sim.Microsecond, func() { count++ })
 		_ = s.RunFor(100 * sim.Millisecond)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/quantum"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -50,10 +51,16 @@ func main() {
 		gate      = flag.Float64("gate", 0.20, "allowed relative regression vs the baseline (0.20 = 20%)")
 		backend   = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) Bell-diagonal fast path); $REPRO_BACKEND sets the default")
 		shards    = flag.Int("shards", 0, "worker shards of the simulation engine (<=1 serial; counters are identical at any shard count)")
+		queue     = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
 	)
 	flag.Parse()
 
 	be, err := quantum.ResolveBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	qk, err := sim.ResolveQueue(*queue)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -89,6 +96,7 @@ func main() {
 		WallClock:   *wallclock,
 		Backend:     be,
 		Shards:      *shards,
+		Queue:       qk,
 	}
 
 	engine := "serial engine"

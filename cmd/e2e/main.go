@@ -40,11 +40,12 @@ type trialStats struct {
 }
 
 // runTrial builds and runs one network + service with a trial-derived seed.
-func runTrial(spec netsim.Spec, scenario nv.ScenarioID, backend quantum.Backend, loss float64, cost string, gate float64,
+func runTrial(spec netsim.Spec, scenario nv.ScenarioID, backend quantum.Backend, queue sim.QueueKind, loss float64, cost string, gate float64,
 	traffic network.TrafficConfig, seed int64, trial int, seconds float64) (trialStats, error) {
 	cfg := netsim.DefaultConfig(spec, scenario)
 	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
 	cfg.Backend = backend
+	cfg.Queue = queue
 	cfg.ClassicalLossProb = loss
 	cfg.HoldPairs = true
 	nw, err := netsim.NewNetwork(cfg)
@@ -115,6 +116,7 @@ func main() {
 		seconds  = flag.Float64("seconds", 2, "simulated seconds per trial")
 		trials   = flag.Int("trials", 3, "independent repetitions (seeds derived from -seed)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
+		queue    = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
 	)
 	flag.Parse()
 
@@ -149,6 +151,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	qk, err := sim.ResolveQueue(*queue)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *trials <= 0 {
 		*trials = 1
 	}
@@ -166,7 +173,7 @@ func main() {
 	results := make([]trialStats, *trials)
 	errs := make([]error, *trials)
 	experiments.RunIndexed(*trials, *parallel, func(i int) {
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), be, *loss, *cost, *gate, traffic, *seed, i, *seconds)
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), be, qk, *loss, *cost, *gate, traffic, *seed, i, *seconds)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -74,7 +74,7 @@ func main() {
 	}})
 	net.Start()
 	gen.Start()
-	stopSampling := net.Sim.Ticker(50*sim.Millisecond, net.SampleQueueLength)
+	stopSampling := sim.Ticker(net.Sim, 50*sim.Millisecond, net.SampleQueueLength)
 	net.Run(sim.DurationSeconds(*seconds))
 	stopSampling()
 

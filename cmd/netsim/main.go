@@ -36,12 +36,13 @@ type trialStats struct {
 }
 
 // runTrial builds and runs one network with a trial-derived seed.
-func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, backend quantum.Backend, loss float64,
+func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, backend quantum.Backend, queue sim.QueueKind, loss float64,
 	traffic netsim.TrafficConfig, seed int64, trial int, seconds float64, shards int) (trialStats, error) {
 	cfg := netsim.DefaultConfig(spec, scenario)
 	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
 	cfg.Scheduler = scheduler
 	cfg.Backend = backend
+	cfg.Queue = queue
 	cfg.ClassicalLossProb = loss
 	cfg.Shards = shards
 	nw, err := netsim.NewNetwork(cfg)
@@ -91,6 +92,7 @@ func main() {
 		trials    = flag.Int("trials", 3, "independent repetitions (seeds derived from -seed)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
 		shards    = flag.Int("shards", 0, "worker shards of the simulation engine (<=1 serial; tables are identical at any shard count)")
+		queue     = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
 	)
 	flag.Parse()
 
@@ -120,6 +122,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	qk, err := sim.ResolveQueue(*queue)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *trials <= 0 {
 		*trials = 1
 	}
@@ -138,7 +145,7 @@ func main() {
 	results := make([]trialStats, *trials)
 	errs := make([]error, *trials)
 	experiments.RunIndexed(*trials, *parallel, func(i int) {
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, be, *loss, traffic, *seed, i, *seconds, *shards)
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, be, qk, *loss, traffic, *seed, i, *seconds, *shards)
 	})
 	for _, err := range errs {
 		if err != nil {

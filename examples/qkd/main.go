@@ -24,7 +24,7 @@ func main() {
 	net := core.NewNetwork(cfg)
 
 	const pairsRequested = 200
-	net.Sim.Schedule(0, func() {
+	sim.Schedule(net.Sim, 0, func() {
 		net.Submit(core.NodeA, egp.CreateRequest{
 			NumPairs:    pairsRequested,
 			Keep:        false,

@@ -22,7 +22,7 @@ func main() {
 
 	// Submit one CREATE request from node A: three create-and-keep pairs
 	// with a minimum fidelity of 0.6, tagged for application purpose 7.
-	net.Sim.Schedule(0, func() {
+	sim.Schedule(net.Sim, 0, func() {
 		id, code := net.Submit(core.NodeA, egp.CreateRequest{
 			NumPairs:    3,
 			Keep:        true,

@@ -27,7 +27,7 @@ func main() {
 	cfg.Backend = quantum.BackendDense
 	net := core.NewNetwork(cfg)
 
-	net.Sim.Schedule(0, func() {
+	sim.Schedule(net.Sim, 0, func() {
 		net.Submit(core.NodeA, egp.CreateRequest{
 			NumPairs:    1,
 			Keep:        true,

@@ -85,6 +85,9 @@ type BuildConfig struct {
 	// with that many worker shards. Deterministic counters are identical
 	// either way.
 	Shards int
+	// Queue selects the event-queue discipline (heap or timing wheel).
+	// Deterministic counters are identical under either.
+	Queue sim.QueueKind
 }
 
 // Scenario is a registered benchmark workload.
@@ -137,6 +140,7 @@ func buildNetsim(spec netsim.Spec) func(build BuildConfig) (Instance, error) {
 		cfg.Seed = build.Seed
 		cfg.Backend = build.Backend
 		cfg.Shards = build.Shards
+		cfg.Queue = build.Queue
 		nw, err := netsim.NewNetwork(cfg)
 		if err != nil {
 			return nil, err
@@ -194,6 +198,7 @@ func buildE2E(nodes int) func(build BuildConfig) (Instance, error) {
 		cfg := netsim.DefaultConfig(netsim.Chain(nodes), nv.ScenarioLab)
 		cfg.Seed = build.Seed
 		cfg.Backend = build.Backend
+		cfg.Queue = build.Queue
 		cfg.HoldPairs = true
 		nw, err := netsim.NewNetwork(cfg)
 		if err != nil {
@@ -302,6 +307,10 @@ type Options struct {
 	// deterministic counters are independent of it; only wall-clock
 	// throughput changes.
 	Shards int
+	// Queue selects the event-queue discipline every trial's engine runs
+	// on (heap by default; cmd/bench resolves -queue / $REPRO_QUEUE into
+	// it). The deterministic counters are independent of it.
+	Queue sim.QueueKind
 }
 
 // withDefaults fills in unset options (SimSeconds is resolved per scenario
@@ -353,6 +362,9 @@ func Run(sc Scenario, opts Options) (Result, error) {
 	if opts.Shards > 1 {
 		res.Config.Shards = opts.Shards
 	}
+	if opts.Queue != sim.QueueHeap {
+		res.Config.Queue = opts.Queue.String()
+	}
 
 	// Pass 1 — deterministic counters: fan the trials out over the worker
 	// pool; every trial is an independent simulation, so the summed counters
@@ -360,7 +372,7 @@ func Run(sc Scenario, opts Options) (Result, error) {
 	counters := make([]Counters, opts.Trials)
 	errs := make([]error, opts.Trials)
 	experiments.RunIndexed(opts.Trials, opts.Parallelism, func(i int) {
-		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, uint64(i)), Backend: opts.Backend, Shards: opts.Shards})
+		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, uint64(i)), Backend: opts.Backend, Shards: opts.Shards, Queue: opts.Queue})
 		if err != nil {
 			errs[i] = err
 			return
@@ -408,7 +420,7 @@ func Run(sc Scenario, opts Options) (Result, error) {
 // measureAllocs runs one serial trial and reports heap allocations and bytes
 // per entanglement attempt over the steady-state window.
 func measureAllocs(sc Scenario, opts Options) (allocsPerAttempt, bytesPerAttempt float64, err error) {
-	inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend, Shards: opts.Shards})
+	inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend, Shards: opts.Shards, Queue: opts.Queue})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -448,7 +460,7 @@ const wallClockPasses = 3
 func measureWallClock(sc Scenario, opts Options) (WallClock, error) {
 	best := WallClock{}
 	for pass := 0; pass < wallClockPasses; pass++ {
-		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend, Shards: opts.Shards})
+		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, 0), Backend: opts.Backend, Shards: opts.Shards, Queue: opts.Queue})
 		if err != nil {
 			return WallClock{}, err
 		}

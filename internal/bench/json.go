@@ -26,6 +26,12 @@ type RunConfig struct {
 	// counters sections are identical at any shard count — CI compares a
 	// sharded run's totals/rates against the committed serial baseline.
 	Shards int `json:"shards,omitempty"`
+	// Queue is the event-queue discipline the run used. Empty means the
+	// binary-heap default, so heap results (and pre-existing baselines)
+	// carry no queue field. The deterministic counters sections are
+	// identical under either discipline — CI compares a wheel run's
+	// totals/rates against the committed heap baseline.
+	Queue string `json:"queue,omitempty"`
 }
 
 // Rates are throughput figures in simulated time: fully deterministic for a

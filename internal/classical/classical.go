@@ -214,8 +214,8 @@ func (m *Mux) Stats() (routed, dropped uint64) { return m.routed.Load(), m.dropp
 // A channel works unchanged across shards of a sim.ShardedEngine when built
 // on a cross-shard engine, because its engine calls split cleanly by side:
 // Send draws the loss Bernoulli and schedules from the sender's context,
-// while Now is only consulted inside the delivery handler (receiver's
-// context) to recover the send time.
+// while the delivery handler recovers the send time from its own firing
+// timestamp (receiver's context) without touching the engine clock.
 type Channel struct {
 	Name     string
 	simul    sim.Engine
@@ -242,11 +242,13 @@ func NewChannel(name string, s sim.Engine, delay sim.Duration, lossProb float64,
 		panic("classical: nil delivery handler")
 	}
 	c := &Channel{Name: name, simul: s, delay: delay, lossProb: lossProb, deliver: deliver}
-	c.onDeliver = func(payload any) {
+	c.onDeliver = func(now sim.Time, payload any) {
 		c.delivered++
 		// The event fires exactly delay after Send, so the send time is
-		// recovered from the clock instead of being carried per frame.
-		c.deliver(Message{Payload: payload, SentAt: c.simul.Now().Add(-c.delay)})
+		// recovered from the delivery timestamp instead of being carried
+		// per frame (now is the arrival time on every engine, including
+		// cross-shard edges).
+		c.deliver(Message{Payload: payload, SentAt: now.Add(-c.delay)})
 	}
 	return c
 }
@@ -276,7 +278,7 @@ func (c *Channel) Send(payload any) {
 		c.dropped++
 		return
 	}
-	c.simul.ScheduleArg(c.delay, c.onDeliver, payload)
+	sim.ScheduleArg(c.simul, c.delay, c.onDeliver, payload)
 }
 
 // Stats returns how many frames were sent, delivered and dropped so far.

@@ -75,7 +75,7 @@ func TestChannelDeliveryDelay(t *testing.T) {
 		deliveredAt = s.Now()
 		got = m.Payload
 	})
-	s.Schedule(0, func() { ch.Send("hello") })
+	sim.Schedule(s, 0, func() { ch.Send("hello") })
 	_ = s.Run()
 	if got != "hello" {
 		t.Fatalf("payload = %v", got)
@@ -93,7 +93,7 @@ func TestChannelOrdering(t *testing.T) {
 	})
 	for i := 0; i < 5; i++ {
 		i := i
-		s.Schedule(sim.Duration(i)*sim.Microsecond, func() { ch.Send(i) })
+		sim.Schedule(s, sim.Duration(i)*sim.Microsecond, func() { ch.Send(i) })
 	}
 	_ = s.Run()
 	for i, v := range order {
@@ -108,7 +108,7 @@ func TestChannelLoss(t *testing.T) {
 	received := 0
 	ch := NewChannel("lossy", s, 0, 0.5, func(Message) { received++ })
 	const n = 10000
-	s.Schedule(0, func() {
+	sim.Schedule(s, 0, func() {
 		for i := 0; i < n; i++ {
 			ch.Send(i)
 		}
@@ -128,7 +128,7 @@ func TestChannelNoLossDeliversEverything(t *testing.T) {
 	s := sim.New(1)
 	received := 0
 	ch := NewChannel("perfect", s, 5, 0, func(Message) { received++ })
-	s.Schedule(0, func() {
+	sim.Schedule(s, 0, func() {
 		for i := 0; i < 1000; i++ {
 			ch.Send(i)
 		}
@@ -146,7 +146,7 @@ func TestSetLossProbability(t *testing.T) {
 	if ch.LossProbability() != 1 {
 		t.Fatal("loss probability not updated")
 	}
-	s.Schedule(0, func() { ch.Send(1) })
+	sim.Schedule(s, 0, func() { ch.Send(1) })
 	_ = s.Run()
 	_, delivered, dropped := ch.Stats()
 	if delivered != 0 || dropped != 1 {
@@ -160,7 +160,7 @@ func TestDuplex(t *testing.T) {
 	d := NewDuplex("pair", s, 10, 0,
 		func(m Message) { atB = append(atB, m.Payload) },
 		func(m Message) { atA = append(atA, m.Payload) })
-	s.Schedule(0, func() {
+	sim.Schedule(s, 0, func() {
 		d.AtoB.Send("to-b")
 		d.BtoA.Send("to-a")
 	})
@@ -217,7 +217,7 @@ func TestPropertyLosslessConservation(t *testing.T) {
 		received := 0
 		ch := NewChannel("p", s, 3, 0, func(Message) { received++ })
 		n := int(count%50) + 1
-		s.Schedule(0, func() {
+		sim.Schedule(s, 0, func() {
 			for i := 0; i < n; i++ {
 				ch.Send(i)
 			}

@@ -12,7 +12,7 @@ import (
 
 // submitAt schedules a request submission at a given simulated time.
 func submitAt(n *Network, at sim.Duration, origin string, req egp.CreateRequest) {
-	n.Sim.Schedule(at, func() { n.Submit(origin, req) })
+	sim.Schedule(n.Sim, at, func() { n.Submit(origin, req) })
 }
 
 func TestLabMeasureDirectlyDeliversPairs(t *testing.T) {

@@ -736,7 +736,7 @@ func (e *EGP) sendExpire(id wire.AbsoluteQueueID, low, high uint16) {
 	var retries int
 	var schedule func()
 	schedule = func() {
-		ev := e.cfg.Sim.Schedule(10*sim.Millisecond, func() {
+		ev := sim.Schedule(e.cfg.Sim, 10*sim.Millisecond, func() {
 			if _, pending := e.pendingExpires[id]; !pending {
 				return
 			}

@@ -299,7 +299,7 @@ func (q *DistributedQueue) scheduleRetransmit(cseq uint8) {
 	if !ok {
 		return
 	}
-	pa.timer = q.simul.Schedule(q.retransmitDelay, func() {
+	pa.timer = sim.Schedule(q.simul, q.retransmitDelay, func() {
 		cur, still := q.pendingAdds[cseq]
 		if !still || cur != pa {
 			return

@@ -51,7 +51,7 @@ func newItem(priority uint8, createID uint16) *QueueItem {
 func TestMasterAddPropagatesToSlave(t *testing.T) {
 	qp := newQueuePair(t, 0, 4)
 	item := newItem(PriorityMD, 1)
-	qp.s.Schedule(0, func() {
+	sim.Schedule(qp.s, 0, func() {
 		if err := qp.master.Add(item); err != nil {
 			t.Errorf("Add: %v", err)
 		}
@@ -78,8 +78,8 @@ func TestSlaveAddGetsMasterAssignedSequence(t *testing.T) {
 	// Master enqueues one item first so the next sequence number is 1.
 	first := newItem(PriorityMD, 1)
 	slaveItem := newItem(PriorityMD, 2)
-	qp.s.Schedule(0, func() { _ = qp.master.Add(first) })
-	qp.s.Schedule(1*sim.Millisecond, func() { _ = qp.slave.Add(slaveItem) })
+	sim.Schedule(qp.s, 0, func() { _ = qp.master.Add(first) })
+	sim.Schedule(qp.s, 1*sim.Millisecond, func() { _ = qp.slave.Add(slaveItem) })
 	_ = qp.s.RunFor(20 * sim.Millisecond)
 
 	if slaveItem.ID.QueueSeq != 1 {
@@ -102,7 +102,7 @@ func TestQueueSurvivesFrameLoss(t *testing.T) {
 	// With 30% frame loss the retransmission machinery must still converge.
 	qp := newQueuePair(t, 0.3, 4)
 	items := make([]*QueueItem, 6)
-	qp.s.Schedule(0, func() {
+	sim.Schedule(qp.s, 0, func() {
 		for i := range items {
 			items[i] = newItem(PriorityMD, uint16(i))
 			if i%2 == 0 {
@@ -140,7 +140,7 @@ func TestQueueRejectionByPolicy(t *testing.T) {
 	bad.PurposeID = 7
 	good := newItem(PriorityMD, 2)
 	good.PurposeID = 42
-	qp.s.Schedule(0, func() {
+	sim.Schedule(qp.s, 0, func() {
 		_ = qp.master.Add(bad)
 		_ = qp.master.Add(good)
 	})
@@ -158,7 +158,7 @@ func TestQueueRejectionByPolicy(t *testing.T) {
 
 func TestQueueFullRejectsLocally(t *testing.T) {
 	qp := newQueuePair(t, 0, 4)
-	qp.s.Schedule(0, func() {
+	sim.Schedule(qp.s, 0, func() {
 		for i := 0; i < 8; i++ {
 			if err := qp.master.Add(newItem(PriorityMD, uint16(i))); err != nil {
 				t.Errorf("Add %d: %v", i, err)
@@ -177,7 +177,7 @@ func TestQueueFullRejectsLocally(t *testing.T) {
 func TestQueueRemoveAndFind(t *testing.T) {
 	qp := newQueuePair(t, 0, 4)
 	item := newItem(PriorityCK, 5)
-	qp.s.Schedule(0, func() { _ = qp.master.Add(item) })
+	sim.Schedule(qp.s, 0, func() { _ = qp.master.Add(item) })
 	_ = qp.s.RunFor(10 * sim.Millisecond)
 	if qp.master.Find(item.ID) == nil {
 		t.Fatal("item should be findable")
@@ -223,7 +223,7 @@ func TestQueueAddGivesUpWithoutPeer(t *testing.T) {
 	var failedCode wire.EGPError
 	qp.master.onRejected = func(item *QueueItem, code wire.EGPError) { failedCode = code }
 	item := newItem(PriorityMD, 1)
-	qp.s.Schedule(0, func() { _ = qp.master.Add(item) })
+	sim.Schedule(qp.s, 0, func() { _ = qp.master.Add(item) })
 	_ = qp.s.RunFor(500 * sim.Millisecond)
 	if failedCode != wire.ErrNoTime {
 		t.Fatalf("expected ERR_NOTIME after retransmissions exhausted, got %v", failedCode)

@@ -153,7 +153,7 @@ func runScenario(cfg core.Config, origin workload.Origin, classes []workload.Cla
 	net.Start()
 	gen.Start()
 	// Sample queue length periodically for the latency analysis.
-	stopSampling := net.Sim.Ticker(50*sim.Millisecond, net.SampleQueueLength)
+	stopSampling := sim.Ticker(net.Sim, 50*sim.Millisecond, net.SampleQueueLength)
 	net.Run(sim.DurationSeconds(opt.SimulatedSeconds))
 	stopSampling()
 	gen.Stop()

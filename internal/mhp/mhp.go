@@ -235,7 +235,7 @@ func (n *Node) Start() (stop func()) {
 	if period <= 0 {
 		panic("mhp: node has no positive cycle time")
 	}
-	return n.simul.Ticker(period, n.runCycle)
+	return sim.Ticker(n.simul, period, n.runCycle)
 }
 
 // runCycle executes one MHP cycle: poll the EGP and trigger if requested.
@@ -447,7 +447,7 @@ func (m *Midpoint) HandleGEN(msg classical.Message) {
 		// attempt is reported back as NO_MESSAGE_OTHER (or TIME_MISMATCH
 		// when the peer was attempting different cycles).
 		m.waiting[payload.node][payload.cycle] = payload
-		m.simul.Schedule(m.holdTime, func() {
+		sim.Schedule(m.simul, m.holdTime, func() {
 			if held, still := m.waiting[payload.node][payload.cycle]; still && held.cycle == payload.cycle {
 				delete(m.waiting[payload.node], payload.cycle)
 				if len(m.waiting[other]) > 0 {

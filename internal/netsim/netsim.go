@@ -58,6 +58,12 @@ type Config struct {
 	// QueueSamplePeriod is how often per-link queue occupancy is sampled
 	// (default 50 ms of simulated time).
 	QueueSamplePeriod sim.Duration
+	// Queue selects the event-queue discipline every engine runs on:
+	// sim.QueueHeap (the exact binary heap, the zero value) or
+	// sim.QueueWheel (the hierarchical timing wheel). Execution order,
+	// counters and experiment tables are identical under either discipline;
+	// only the constant factors differ.
+	Queue sim.QueueKind
 	// Shards selects the engine: ≤1 runs the network on the serial
 	// simulator (the default), >1 partitions the topology onto a
 	// sim.ShardedEngine with that many parallel worker shards. Results are
@@ -71,7 +77,8 @@ type Config struct {
 // the given topology on the given scenario, FCFS scheduling, no classical
 // losses, emission multiplexing on. The pair-state backend defaults to
 // $REPRO_BACKEND when set (the CI test matrix runs the suite once per
-// backend), else to the exact dense simulator.
+// backend), else to the exact dense simulator; the event-queue discipline
+// likewise defaults to $REPRO_QUEUE, else the binary heap.
 func DefaultConfig(spec Spec, scenario nv.ScenarioID) Config {
 	return Config{
 		Spec:                 spec,
@@ -79,6 +86,7 @@ func DefaultConfig(spec Spec, scenario nv.ScenarioID) Config {
 		Seed:                 1,
 		Scheduler:            "FCFS",
 		Backend:              quantum.BackendFromEnv(),
+		Queue:                sim.QueueFromEnv(),
 		EmissionMultiplexing: true,
 		MaxQueueLen:          256,
 		StorageMargin:        0.05,
@@ -274,10 +282,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 		if err := part.validateCrossDelays(platform.CommDelayAH + platform.CommDelayBH); err != nil {
 			return nil, err
 		}
-		sharded = sim.NewSharded(cfg.Seed, cfg.Shards)
+		sharded = sim.NewShardedWithQueue(cfg.Seed, cfg.Shards, cfg.Queue)
 		eng = sharded
 	} else {
-		eng = sim.New(cfg.Seed)
+		eng = sim.NewWithQueue(cfg.Seed, cfg.Queue)
 	}
 	nw := &Network{
 		Config:       cfg,
@@ -520,7 +528,7 @@ func (nw *Network) Start() {
 		// single global ticker would both race across shards and give the
 		// sharded run a different event census than the serial one).
 		link := l
-		l.stopSample = l.Eng.Ticker(nw.Config.QueueSamplePeriod, func() {
+		l.stopSample = sim.Ticker(l.Eng, nw.Config.QueueSamplePeriod, func() {
 			link.Collector.SampleQueueLength(link.EGPA.Queue().TotalLen())
 		})
 	}

@@ -262,7 +262,7 @@ func TestCrossShardNetworkPort(t *testing.T) {
 	src := eng.Shard(part.NodeShard[1])
 	for i := 0; i < 3; i++ {
 		i := i
-		src.Schedule(sim.Duration(i)*sim.Millisecond, func() { port.Send(i) })
+		sim.Schedule(src, sim.Duration(i)*sim.Millisecond, func() { port.Send(i) })
 	}
 	nw.Run(sim.DurationSeconds(0.05))
 

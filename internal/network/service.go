@@ -316,7 +316,7 @@ func (s *Service) Create(req CreateRequest) (RequestID, wire.EGPError) {
 	}
 	if req.MaxTime > 0 {
 		r.hasTimeout = true
-		r.timeout = s.nw.Sim.Schedule(req.MaxTime, func() { s.failRequest(r, wire.ErrTimeout) })
+		r.timeout = sim.Schedule(s.nw.Sim, req.MaxTime, func() { s.failRequest(r, wire.ErrTimeout) })
 	}
 	return id, wire.ErrNone
 }

@@ -97,7 +97,7 @@ func (s *Service) handleLinkOK(l *netsim.Link, ev egp.OKEvent) {
 		sg = s.newLinkSegment(r, l, ev.Pair)
 		s.pendingLink[ev.Pair] = sg
 		r.segs = append(r.segs, sg)
-		s.nw.Sim.Schedule(pendingPairDeadline, func() { s.abandonIfStuck(sg) })
+		sim.Schedule(s.nw.Sim, pendingPairDeadline, func() { s.abandonIfStuck(sg) })
 	}
 	if l.NodeIndex(ev.Node) == sg.a {
 		sg.aReady = true
@@ -319,7 +319,7 @@ func (s *Service) performSwap(n int, segL, segR *segment) {
 // retry budget is exhausted — a permanently partitioned control channel must
 // not strand memory qubits forever.
 func (s *Service) scheduleFrameRetry(n int, sg *segment, fa, fb swapFrame, retries int) {
-	s.nw.Sim.Schedule(swapRetryInterval, func() {
+	sim.Schedule(s.nw.Sim, swapRetryInterval, func() {
 		if sg.placed || sg.req.finished() {
 			return
 		}

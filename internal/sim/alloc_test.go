@@ -10,13 +10,13 @@ func TestScheduleSteadyStateAllocFree(t *testing.T) {
 	fn := func() {}
 	// Warm the pool and the queue's backing array.
 	for i := 0; i < 64; i++ {
-		s.Schedule(Duration(i), fn)
+		Schedule(s, Duration(i), fn)
 	}
 	if err := s.Run(); err != nil {
 		t.Fatalf("warmup run: %v", err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		s.Schedule(10*Microsecond, fn)
+		Schedule(s, 10*Microsecond, fn)
 		if err := s.RunFor(Millisecond); err != nil {
 			t.Fatalf("RunFor: %v", err)
 		}
@@ -32,13 +32,13 @@ func TestCancelAllocFree(t *testing.T) {
 	s := New(1)
 	fn := func() {}
 	for i := 0; i < 64; i++ {
-		s.Schedule(Duration(i), fn)
+		Schedule(s, Duration(i), fn)
 	}
 	if err := s.Run(); err != nil {
 		t.Fatalf("warmup run: %v", err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		id := s.Schedule(10*Microsecond, fn)
+		id := Schedule(s, 10*Microsecond, fn)
 		id.Cancel()
 		if err := s.RunFor(Millisecond); err != nil {
 			t.Fatalf("RunFor: %v", err)
@@ -53,12 +53,12 @@ func TestCancelAllocFree(t *testing.T) {
 // not cancel the new incarnation.
 func TestStaleEventIDCannotCancelReusedStruct(t *testing.T) {
 	s := New(1)
-	stale := s.Schedule(Microsecond, func() {})
+	stale := Schedule(s, Microsecond, func() {})
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	fired := false
-	fresh := s.Schedule(Microsecond, func() { fired = true })
+	fresh := Schedule(s, Microsecond, func() { fired = true })
 	if fresh.ev != stale.ev {
 		t.Fatal("expected the pooled event struct to be reused")
 	}
@@ -79,7 +79,7 @@ func TestCancelCompaction(t *testing.T) {
 	fired := 0
 	ids := make([]EventID, 0, n)
 	for i := 0; i < n; i++ {
-		ids = append(ids, s.Schedule(Duration(i+1)*Microsecond, func() { fired++ }))
+		ids = append(ids, Schedule(s, Duration(i+1)*Microsecond, func() { fired++ }))
 	}
 	for i := 0; i < 600; i++ {
 		ids[i].Cancel()
@@ -117,7 +117,7 @@ func TestCompactionPreservesOrder(t *testing.T) {
 	var ids []EventID
 	for i := 0; i < 200; i++ {
 		i := i
-		ids = append(ids, s.Schedule(Duration(200-i)*Microsecond, func() { order = append(order, i) }))
+		ids = append(ids, Schedule(s, Duration(200-i)*Microsecond, func() { order = append(order, i) }))
 	}
 	// Cancel every odd-index event plus index 0 — one past half the queue,
 	// forcing a compaction. Survivors must still fire in reverse index
@@ -148,7 +148,7 @@ func TestNoCompactionBelowThreshold(t *testing.T) {
 	s := New(1)
 	var ids []EventID
 	for i := 0; i < compactMinLen-1; i++ {
-		ids = append(ids, s.Schedule(Duration(i+1), func() {}))
+		ids = append(ids, Schedule(s, Duration(i+1), func() {}))
 	}
 	for _, id := range ids {
 		id.Cancel()

@@ -7,7 +7,7 @@ import "testing"
 func TestCancelAfterFireIsNoOp(t *testing.T) {
 	s := New(1)
 	fired := 0
-	id := s.Schedule(10, func() { fired++ })
+	id := Schedule(s, 10, func() { fired++ })
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -16,7 +16,7 @@ func TestCancelAfterFireIsNoOp(t *testing.T) {
 	if fired != 1 {
 		t.Fatalf("event fired %d times, want 1", fired)
 	}
-	s.Schedule(10, func() { fired++ })
+	Schedule(s, 10, func() { fired++ })
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run after late cancel: %v", err)
 	}
@@ -37,9 +37,9 @@ func TestCancelZeroValueEventID(t *testing.T) {
 func TestCancelPreservesTieOrdering(t *testing.T) {
 	s := New(1)
 	var order []int
-	s.Schedule(10, func() { order = append(order, 1) })
-	mid := s.Schedule(10, func() { order = append(order, 2) })
-	s.Schedule(10, func() { order = append(order, 3) })
+	Schedule(s, 10, func() { order = append(order, 1) })
+	mid := Schedule(s, 10, func() { order = append(order, 2) })
+	Schedule(s, 10, func() { order = append(order, 3) })
 	mid.Cancel()
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -54,7 +54,7 @@ func TestCancelPreservesTieOrdering(t *testing.T) {
 // executing) when its time comes.
 func TestCancelledEventStillCountsAsPendingUntilPopped(t *testing.T) {
 	s := New(1)
-	id := s.Schedule(10, func() { t.Fatal("cancelled event executed") })
+	id := Schedule(s, 10, func() { t.Fatal("cancelled event executed") })
 	id.Cancel()
 	if s.Pending() != 1 {
 		t.Fatalf("Pending = %d immediately after cancel, want 1 (lazy removal)", s.Pending())
@@ -74,7 +74,7 @@ func TestCancelledEventStillCountsAsPendingUntilPopped(t *testing.T) {
 func TestTickerStopBeforeFirstTick(t *testing.T) {
 	s := New(1)
 	count := 0
-	stop := s.Ticker(10, func() { count++ })
+	stop := Ticker(s, 10, func() { count++ })
 	stop()
 	if err := s.RunFor(100); err != nil {
 		t.Fatalf("RunFor: %v", err)
@@ -89,7 +89,7 @@ func TestTickerStopBeforeFirstTick(t *testing.T) {
 func TestTickerStopIsIdempotentAcrossRuns(t *testing.T) {
 	s := New(1)
 	count := 0
-	stop := s.Ticker(10, func() { count++ })
+	stop := Ticker(s, 10, func() { count++ })
 	if err := s.RunFor(25); err != nil {
 		t.Fatalf("RunFor: %v", err)
 	}
@@ -114,7 +114,7 @@ func TestTickerStopInsideCallbackCompletesCurrentTick(t *testing.T) {
 	count := 0
 	ran := false
 	var stop func()
-	stop = s.Ticker(10, func() {
+	stop = Ticker(s, 10, func() {
 		count++
 		stop()
 		ran = true // code after stop() still runs in the current tick
@@ -137,7 +137,7 @@ func TestTickerNonPositivePeriodPanics(t *testing.T) {
 					t.Errorf("Ticker(%d) did not panic", period)
 				}
 			}()
-			s.Ticker(period, func() {})
+			Ticker(s, period, func() {})
 		}()
 	}
 }

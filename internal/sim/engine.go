@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Engine is the scheduling surface of a discrete-event simulation core. It
 // is extracted from Simulator so that protocol entities (channels, EGP/MHP
 // instances, traffic streams, tickers) can run unchanged on either the
@@ -7,30 +9,38 @@ package sim
 // where every entity schedules against the event loop of the shard that owns
 // its state.
 //
+// The interface keeps exactly one scheduling primitive, ScheduleArgAt: an
+// argument-carrying callback at an absolute time. Everything else callers
+// historically reached for — relative delays, parameterless handlers,
+// periodic tickers — is a thin package-level wrapper (Schedule, ScheduleAt,
+// ScheduleArg, Ticker) composed from it. One primitive means one code path
+// to make deterministic, one to make fast, and one for restricted engines
+// (the sharded engine's cross-shard edges) to gate.
+//
 // The contract every implementation honours:
 //
 //   - Events fire in nondecreasing (time, insertion order) within one
-//     engine; ties are broken deterministically.
-//   - Now() is the timestamp of the event being executed while inside a
-//     callback, and the last reached barrier/run limit outside one.
+//     engine; ties are broken deterministically, and events sharing a
+//     timestamp are dispatched as one batch in insertion order.
+//   - Now() is the scheduling reference clock: the timestamp of the event
+//     being executed while inside a callback on a local engine, and the
+//     sender's clock on a cross-shard edge. Delivery callbacks should use
+//     the now argument handed to the ArgHandler, which is the firing event's
+//     timestamp on every engine.
 //   - RNG() is the deterministic random source entities should draw from.
 //     Entities that must stay reproducible independent of how the topology
 //     is sharded are given a stream-pinned view via WithRNG.
 type Engine interface {
-	// Now returns the current simulated time.
+	// Now returns the engine's scheduling reference clock (see above).
 	Now() Time
 	// RNG returns the engine's deterministic random source.
 	RNG() *RNG
-	// Schedule registers fn to run after delay (negative delays clamp to 0).
-	Schedule(delay Duration, fn Handler) EventID
-	// ScheduleAt registers fn to run at an absolute time (past times clamp
-	// to the present).
-	ScheduleAt(at Time, fn Handler) EventID
-	// ScheduleArg registers an argument-carrying event (see ArgHandler).
-	ScheduleArg(delay Duration, fn ArgHandler, arg any) EventID
-	// Ticker invokes fn every period until the returned stop function is
-	// called or the simulation ends.
-	Ticker(period Duration, fn Handler) (stop func())
+	// ScheduleArgAt registers fn to run at absolute time at with the given
+	// argument; on local engines times in the past clamp to the present.
+	// The returned EventID cancels the event (Cancel on the zero EventID is
+	// a no-op; cross-shard deliveries return the zero EventID because they
+	// cannot be cancelled once staged).
+	ScheduleArgAt(at Time, fn ArgHandler, arg any) EventID
 	// Run executes events until none remain or Stop is called.
 	Run() error
 	// RunUntil executes events until the clock would pass t.
@@ -45,13 +55,91 @@ type Engine interface {
 	Pending() int
 }
 
-// Compile-time checks that both engine flavours satisfy the interface.
+// Compile-time checks that every engine flavour satisfies the interface.
 var (
 	_ Engine = (*Simulator)(nil)
 	_ Engine = (*ShardedEngine)(nil)
 	_ Engine = (*rngEngine)(nil)
 	_ Engine = (*crossEngine)(nil)
 )
+
+// runHandler is the trampoline that lets parameterless Handlers ride the
+// canonical argument-carrying event: the handler itself is the argument.
+// Func values are pointer-shaped, so boxing one into the arg interface does
+// not allocate — Schedule/ScheduleAt cost exactly what ScheduleArg does.
+func runHandler(_ Time, arg any) { arg.(Handler)() }
+
+// Schedule registers fn to run after delay on e. A negative delay is treated
+// as zero (the event runs at the current time, after already-queued events
+// for the same instant).
+func Schedule(e Engine, delay Duration, fn Handler) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleArgAt(e.Now().Add(delay), runHandler, fn)
+}
+
+// ScheduleAt registers fn to run at absolute time at on e. Times in the past
+// are clamped to the present.
+func ScheduleAt(e Engine, at Time, fn Handler) EventID {
+	return e.ScheduleArgAt(at, runHandler, fn)
+}
+
+// ScheduleArg registers fn to run after delay with the given argument. It
+// behaves exactly like Schedule but carries the argument in the pooled event
+// itself, so callers with a long-lived handler avoid allocating a capturing
+// closure per event. On a cross-shard edge the delay is measured from the
+// sender's clock and must be at least the edge's registered minimum.
+func ScheduleArg(e Engine, delay Duration, fn ArgHandler, arg any) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleArgAt(e.Now().Add(delay), fn, arg)
+}
+
+// tickerEvent is the self-rearming state behind Ticker: one struct per
+// ticker, rescheduled in place by tickerFire, so steady-state ticking
+// allocates nothing — no per-tick closure, no per-tick box.
+type tickerEvent struct {
+	eng     Engine
+	period  Duration
+	fn      Handler
+	id      EventID
+	stopped bool
+}
+
+// tickerFire runs one tick and rearms the ticker relative to the firing
+// time, mirroring a chain of Schedule(period, ...) calls exactly.
+func tickerFire(now Time, arg any) {
+	t := arg.(*tickerEvent)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.id = t.eng.ScheduleArgAt(now.Add(t.period), tickerFire, t)
+	}
+}
+
+// Ticker invokes fn every period on e until the returned stop function is
+// called. The first invocation happens after one full period. Stopping is
+// idempotent and cancels the pending tick, so a ticker stopped after the
+// engine halted (mid-run Stop, or a RunUntil horizon) leaves no event
+// behind — the next run will not fire a stale tick.
+func Ticker(e Engine, period Duration, fn Handler) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %d", period))
+	}
+	t := &tickerEvent{eng: e, period: period, fn: fn}
+	t.id = e.ScheduleArgAt(e.Now().Add(period), tickerFire, t)
+	return func() {
+		if t.stopped {
+			return
+		}
+		t.stopped = true
+		t.id.Cancel()
+	}
+}
 
 // WithRNG returns a view of eng whose RNG() is the given stream instead of
 // the engine's own. Scheduling, time and counters pass straight through.

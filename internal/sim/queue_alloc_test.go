@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// bothQueues runs a subtest per queue discipline.
+func bothQueues(t *testing.T, run func(t *testing.T, kind QueueKind)) {
+	for _, kind := range []QueueKind{QueueHeap, QueueWheel} {
+		t.Run(kind.String(), func(t *testing.T) { run(t, kind) })
+	}
+}
+
+// TestTickerStopAfterEngineStop pins the repaired stop semantics on both
+// disciplines: stopping a ticker after the engine has already halted must
+// cancel the pending tick (no stale tick on the next run) and stay
+// idempotent.
+func TestTickerStopAfterEngineStop(t *testing.T) {
+	bothQueues(t, func(t *testing.T, kind QueueKind) {
+		s := NewWithQueue(1, kind)
+		count := 0
+		stop := Ticker(s, 10*Microsecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+		if err := s.Run(); !errors.Is(err, ErrStopped) {
+			t.Fatalf("Run returned %v, want ErrStopped", err)
+		}
+		if count != 3 {
+			t.Fatalf("ticked %d times before stop, want 3", count)
+		}
+		// The rearmed tick is still pending; stopping now must cancel it.
+		if s.Pending() != 1 {
+			t.Fatalf("Pending() = %d after engine stop, want the rearmed tick", s.Pending())
+		}
+		stop()
+		stop() // idempotent
+		if err := s.RunFor(Second); err != nil {
+			t.Fatalf("RunFor after stop: %v", err)
+		}
+		if count != 3 {
+			t.Fatalf("stale tick fired after stop: count = %d, want 3", count)
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("Pending() = %d after drain, want 0", s.Pending())
+		}
+	})
+}
+
+// warmWheel drives a simulator through enough scheduling traffic that every
+// reusable buffer (event pool, slots, ready run, overflow list) has grown to
+// its steady-state size.
+func warmSteadyState(s *Simulator) error {
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		Schedule(s, Duration(i)*Microsecond, fn)
+		// Far enough to exercise higher wheel levels and the cascade path.
+		Schedule(s, Duration(i+1)*100*Millisecond, fn)
+	}
+	return s.Run()
+}
+
+// TestQueueScheduleSteadyStateAllocFree pins the insert→fire cycle at zero
+// allocations on both disciplines — for the wheel that covers slot insert,
+// cascade re-placement and the sorted ready run.
+func TestQueueScheduleSteadyStateAllocFree(t *testing.T) {
+	bothQueues(t, func(t *testing.T, kind QueueKind) {
+		s := NewWithQueue(1, kind)
+		if err := warmSteadyState(s); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+		fn := func() {}
+		allocs := testing.AllocsPerRun(200, func() {
+			// One near event (ready-run path) and one a few levels up
+			// (cascade path on the wheel).
+			Schedule(s, 10*Microsecond, fn)
+			Schedule(s, 100*Millisecond, fn)
+			if err := s.RunFor(Second); err != nil {
+				t.Fatalf("RunFor: %v", err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("schedule+fire cycle allocated %v objects per run on %s, want 0", allocs, kind)
+		}
+	})
+}
+
+// TestQueueCancelSteadyStateAllocFree pins the insert→cancel→compact cycle at
+// zero allocations on both disciplines.
+func TestQueueCancelSteadyStateAllocFree(t *testing.T) {
+	bothQueues(t, func(t *testing.T, kind QueueKind) {
+		s := NewWithQueue(1, kind)
+		if err := warmSteadyState(s); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+		fn := func() {}
+		allocs := testing.AllocsPerRun(200, func() {
+			id := Schedule(s, 10*Microsecond, fn)
+			far := Schedule(s, 100*Millisecond, fn)
+			id.Cancel()
+			far.Cancel()
+			if err := s.RunFor(Second); err != nil {
+				t.Fatalf("RunFor: %v", err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("schedule+cancel cycle allocated %v objects per run on %s, want 0", allocs, kind)
+		}
+	})
+}
+
+// TestTickerSteadyStateAllocFree pins the self-rearming ticker at zero
+// allocations per tick on both disciplines: no per-tick closure, no box.
+func TestTickerSteadyStateAllocFree(t *testing.T) {
+	bothQueues(t, func(t *testing.T, kind QueueKind) {
+		s := NewWithQueue(1, kind)
+		if err := warmSteadyState(s); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+		ticks := 0
+		stop := Ticker(s, 10*Microsecond, func() { ticks++ })
+		defer stop()
+		if err := s.RunFor(Millisecond); err != nil {
+			t.Fatalf("ticker warmup: %v", err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := s.RunFor(Millisecond); err != nil {
+				t.Fatalf("RunFor: %v", err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("ticking allocated %v objects per run on %s, want 0", allocs, kind)
+		}
+		if ticks == 0 {
+			t.Fatal("ticker never fired")
+		}
+	})
+}

@@ -57,18 +57,26 @@ type ShardedEngine struct {
 // unbounded and shards run fully independently.
 const noLookahead = Duration(math.MaxInt64)
 
-// NewSharded creates a sharded engine with n worker shards. Each shard's own
-// RNG is seeded from (seed, shard index), but partitioned workloads should
-// not consume shard RNGs at all — per-entity streams via WithRNG keep
-// results independent of the partitioning.
+// NewSharded creates a sharded engine with n worker shards on the reference
+// heap queue. Each shard's own RNG is seeded from (seed, shard index), but
+// partitioned workloads should not consume shard RNGs at all — per-entity
+// streams via WithRNG keep results independent of the partitioning.
 func NewSharded(seed int64, n int) *ShardedEngine {
+	return NewShardedWithQueue(seed, n, QueueHeap)
+}
+
+// NewShardedWithQueue creates a sharded engine whose shards all run the
+// given queue discipline. The discipline multiplies with the sharding: each
+// shard runs its own faster event loop, and counters stay byte-identical
+// across both axes (queue choice and shard count).
+func NewShardedWithQueue(seed int64, n int, queue QueueKind) *ShardedEngine {
 	if n < 1 {
 		panic(fmt.Sprintf("sim: sharded engine needs at least 1 shard, got %d", n))
 	}
 	e := &ShardedEngine{seed: seed, lookahead: noLookahead}
 	e.shards = make([]*Simulator, n)
 	for i := range e.shards {
-		e.shards[i] = New(DeriveSeed(seed, 0x5ead, uint64(i)))
+		e.shards[i] = NewWithQueue(DeriveSeed(seed, 0x5ead, uint64(i)), queue)
 	}
 	return e
 }
@@ -92,10 +100,12 @@ func (e *ShardedEngine) Merged() uint64 { return e.merged }
 // the restricted Engine entities must use to talk across it. The returned
 // engine supports exactly the split a delayed message channel needs:
 //
-//   - ScheduleArg, callable only from src's event loop, enqueues the
-//     delivery into the edge's outbox (delays below the registered minimum
-//     are rejected — they would break the lookahead proof);
-//   - Now, callable only from delivery handlers, reports dst's clock;
+//   - ScheduleArgAt, callable only from src's event loop, enqueues the
+//     delivery into the edge's outbox (arrival times closer than the
+//     registered minimum delay are rejected — they would break the
+//     lookahead proof);
+//   - Now reports src's clock, the sender's scheduling reference (delivery
+//     handlers read the arrival time from their ArgHandler now argument);
 //   - RNG is a private stream derived from (engine seed, key).
 //
 // key must be stable across runs and unique per registered edge; it is the
@@ -142,19 +152,11 @@ func (e *ShardedEngine) RNG() *RNG {
 	panic("sim: ShardedEngine has no global RNG; pin per-entity streams with WithRNG(shard, NewRNG(DeriveSeed(seed, entityID)))")
 }
 
-// Schedule panics: events must be scheduled on the owning shard (Shard) or
-// across a registered cross-shard engine (Cross).
-func (e *ShardedEngine) Schedule(Duration, Handler) EventID { panic(errShardedSchedule) }
-
-// ScheduleAt panics; see Schedule.
-func (e *ShardedEngine) ScheduleAt(Time, Handler) EventID { panic(errShardedSchedule) }
-
-// ScheduleArg panics; see Schedule.
-func (e *ShardedEngine) ScheduleArg(Duration, ArgHandler, any) EventID { panic(errShardedSchedule) }
-
-// Ticker panics; see Schedule. Periodic work belongs to the shard that owns
-// the state it samples (netsim runs one queue-sampling ticker per link).
-func (e *ShardedEngine) Ticker(Duration, Handler) func() { panic(errShardedSchedule) }
+// ScheduleArgAt panics: events must be scheduled on the owning shard (Shard)
+// or across a registered cross-shard engine (Cross). Periodic work likewise
+// belongs to the shard that owns the state it samples (netsim runs one
+// queue-sampling ticker per link).
+func (e *ShardedEngine) ScheduleArgAt(Time, ArgHandler, any) EventID { panic(errShardedSchedule) }
 
 const errShardedSchedule = "sim: schedule on an owning shard (ShardedEngine.Shard) or a registered cross-shard engine (ShardedEngine.Cross), not on the sharded engine itself"
 
@@ -333,13 +335,17 @@ type crossMsg struct {
 }
 
 // crossEngine is the restricted Engine handed out by Cross. It deliberately
-// supports only the three calls a delayed message channel makes, each pinned
-// to the side of the edge it may run on:
+// supports only the calls a delayed message channel makes, each pinned to
+// the side of the edge it may run on:
 //
-//   - ScheduleArg runs on the source shard's loop (the sender's context) and
-//     stages the delivery in the outbox;
-//   - Now runs inside delivery handlers on the destination shard's loop and
-//     reports that clock (so "send time = now − delay" holds at delivery);
+//   - ScheduleArgAt runs on the source shard's loop (the sender's context)
+//     and stages the delivery in the outbox; the arrival time must be at
+//     least the registered minimum delay past the sender's clock;
+//   - Now reports the source shard's clock — the sender's scheduling
+//     reference, which is what the ScheduleArg wrapper adds the delay to.
+//     Delivery handlers run on the destination shard and must read the
+//     arrival time from their ArgHandler now argument, never from this
+//     engine (so "send time = now − delay" holds at delivery);
 //   - RNG is the edge's private stream, drawn from the sender's context.
 //
 // Everything else panics: a cross edge is a wire, not a scheduler.
@@ -352,36 +358,34 @@ type crossEngine struct {
 	buf      []crossMsg
 }
 
-// Now reports the destination shard's clock. It may only be called from
-// delivery handlers executing on the destination shard.
-func (c *crossEngine) Now() Time { return c.eng.shards[c.dst].now }
+// Now reports the source shard's clock (the sender's context). Delivery
+// handlers must use their ArgHandler now argument instead.
+func (c *crossEngine) Now() Time { return c.eng.shards[c.src].now }
 
 // RNG returns the edge's private random stream (sender-side use only).
 func (c *crossEngine) RNG() *RNG { return c.rng }
 
-// ScheduleArg stages a delivery in the edge's outbox. It may only be called
-// from the source shard's event loop, and the delay must be at least the
-// registered minimum — anything shorter would invalidate the lookahead the
-// window barrier is built on.
-func (c *crossEngine) ScheduleArg(delay Duration, fn ArgHandler, arg any) EventID {
-	if delay < c.minDelay {
+// ScheduleArgAt stages a delivery in the edge's outbox. It may only be
+// called from the source shard's event loop, and the arrival time must be at
+// least the registered minimum delay past the sender's clock — anything
+// shorter would invalidate the lookahead the window barrier is built on.
+func (c *crossEngine) ScheduleArgAt(at Time, fn ArgHandler, arg any) EventID {
+	if delay := at.Sub(c.eng.shards[c.src].now); delay < c.minDelay {
 		panic(fmt.Sprintf("sim: cross-shard send with delay %v below the registered minimum %v on edge %d->%d", delay, c.minDelay, c.src, c.dst))
 	}
-	at := c.eng.shards[c.src].now.Add(delay)
 	c.buf = append(c.buf, crossMsg{at: at, fn: fn, arg: arg})
 	// Cross-shard deliveries cannot be cancelled; the zero EventID's Cancel
 	// is a documented no-op.
 	return EventID{}
 }
 
-const errCrossEngine = "sim: cross-shard engine supports only Now, RNG and ScheduleArg"
+const errCrossEngine = "sim: cross-shard engine supports only Now, RNG and ScheduleArgAt"
 
-func (c *crossEngine) Schedule(Duration, Handler) EventID { panic(errCrossEngine) }
-func (c *crossEngine) ScheduleAt(Time, Handler) EventID   { panic(errCrossEngine) }
-func (c *crossEngine) Ticker(Duration, Handler) func()    { panic(errCrossEngine) }
-func (c *crossEngine) Run() error                         { panic(errCrossEngine) }
-func (c *crossEngine) RunUntil(Time) error                { panic(errCrossEngine) }
-func (c *crossEngine) RunFor(Duration) error              { panic(errCrossEngine) }
-func (c *crossEngine) Stop()                              { panic(errCrossEngine) }
-func (c *crossEngine) Executed() uint64                   { panic(errCrossEngine) }
-func (c *crossEngine) Pending() int                       { panic(errCrossEngine) }
+func (c *crossEngine) Run() error          { panic(errCrossEngine) }
+func (c *crossEngine) RunUntil(Time) error { panic(errCrossEngine) }
+func (c *crossEngine) RunFor(Duration) error {
+	panic(errCrossEngine)
+}
+func (c *crossEngine) Stop()            { panic(errCrossEngine) }
+func (c *crossEngine) Executed() uint64 { panic(errCrossEngine) }
+func (c *crossEngine) Pending() int     { panic(errCrossEngine) }

@@ -22,22 +22,22 @@ func pingPongSharded(t *testing.T, seed int64, delay Duration, rounds int) []str
 	}
 	var log []string
 	var deliverAtA, deliverAtB ArgHandler
-	deliverAtB = func(arg any) {
+	deliverAtB = func(now Time, arg any) {
 		n := arg.(int)
-		log = append(log, fmt.Sprintf("t=%d n=%d", ab.Now(), n))
+		log = append(log, fmt.Sprintf("t=%d n=%d", now, n))
 		if n < rounds {
-			ba.ScheduleArg(delay, deliverAtA, n+1)
+			ScheduleArg(ba, delay, deliverAtA, n+1)
 		}
 	}
-	deliverAtA = func(arg any) {
+	deliverAtA = func(now Time, arg any) {
 		n := arg.(int)
-		log = append(log, fmt.Sprintf("t=%d n=%d", ba.Now(), n))
+		log = append(log, fmt.Sprintf("t=%d n=%d", now, n))
 		if n < rounds {
-			ab.ScheduleArg(delay, deliverAtB, n+1)
+			ScheduleArg(ab, delay, deliverAtB, n+1)
 		}
 	}
 	// Seed the exchange from shard 0's own loop at t=0.
-	e.Shard(0).Schedule(0, func() { ab.ScheduleArg(delay, deliverAtB, 1) })
+	Schedule(e.Shard(0), 0, func() { ScheduleArg(ab, delay, deliverAtB, 1) })
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -51,14 +51,14 @@ func pingPongSerial(t *testing.T, seed int64, delay Duration, rounds int) []stri
 	s := New(seed)
 	var log []string
 	var bounce ArgHandler
-	bounce = func(arg any) {
+	bounce = func(now Time, arg any) {
 		n := arg.(int)
-		log = append(log, fmt.Sprintf("t=%d n=%d", s.Now(), n))
+		log = append(log, fmt.Sprintf("t=%d n=%d", now, n))
 		if n < rounds {
-			s.ScheduleArg(delay, bounce, n+1)
+			ScheduleArg(s, delay, bounce, n+1)
 		}
 	}
-	s.Schedule(0, func() { s.ScheduleArg(delay, bounce, 1) })
+	Schedule(s, 0, func() { ScheduleArg(s, delay, bounce, 1) })
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -120,15 +120,15 @@ func TestShardedMergeOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	var order []string
-	record := func(arg any) { order = append(order, arg.(string)) }
+	record := func(_ Time, arg any) { order = append(order, arg.(string)) }
 	// Both source shards send two messages with identical timestamps.
-	e.Shard(1).Schedule(0, func() {
-		fromS1.ScheduleArg(delay, record, "key9-first")
-		fromS1.ScheduleArg(delay, record, "key9-second")
+	Schedule(e.Shard(1), 0, func() {
+		ScheduleArg(fromS1, delay, record, "key9-first")
+		ScheduleArg(fromS1, delay, record, "key9-second")
 	})
-	e.Shard(2).Schedule(0, func() {
-		fromS2.ScheduleArg(delay, record, "key3-first")
-		fromS2.ScheduleArg(delay, record, "key3-second")
+	Schedule(e.Shard(2), 0, func() {
+		ScheduleArg(fromS2, delay, record, "key3-first")
+		ScheduleArg(fromS2, delay, record, "key3-second")
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -186,7 +186,7 @@ func TestCrossSendBelowMinimumPanics(t *testing.T) {
 			t.Fatal("cross-shard send below the registered minimum did not panic")
 		}
 	}()
-	c.ScheduleArg(Duration(Microsecond), func(any) {}, nil)
+	ScheduleArg(c, Duration(Microsecond), func(Time, any) {}, nil)
 }
 
 // TestShardedLookahead checks the lookahead tracks the minimum registered
@@ -213,8 +213,8 @@ func TestShardedLookahead(t *testing.T) {
 func TestShardedRunUntilAdvancesClock(t *testing.T) {
 	e := NewSharded(1, 2)
 	fired := [2]Time{}
-	e.Shard(0).Schedule(Duration(Millisecond), func() { fired[0] = e.Shard(0).Now() })
-	e.Shard(1).Schedule(2*Duration(Millisecond), func() { fired[1] = e.Shard(1).Now() })
+	Schedule(e.Shard(0), Duration(Millisecond), func() { fired[0] = e.Shard(0).Now() })
+	Schedule(e.Shard(1), 2*Duration(Millisecond), func() { fired[1] = e.Shard(1).Now() })
 	limit := Time(DurationSeconds(0.01))
 	if err := e.RunUntil(limit); err != nil {
 		t.Fatal(err)
@@ -248,8 +248,8 @@ func TestShardedWindowsBoundedByLookahead(t *testing.T) {
 	// apart — each send lands in a different window.
 	for i := 1; i <= 10; i++ {
 		at := Time(i) * Time(Millisecond)
-		e.Shard(0).ScheduleAt(at, func() {
-			c.ScheduleArg(delay, func(any) { arrivals = append(arrivals, c.Now()) }, nil)
+		ScheduleAt(e.Shard(0), at, func() {
+			ScheduleArg(c, delay, func(now Time, _ any) { arrivals = append(arrivals, now) }, nil)
 		})
 	}
 	if err := e.Run(); err != nil {
@@ -274,8 +274,8 @@ func TestShardedStop(t *testing.T) {
 	if _, err := e.Cross(0, 1, Duration(Millisecond), 1); err != nil {
 		t.Fatal(err)
 	}
-	e.Shard(0).Schedule(Duration(Millisecond), func() { e.Stop() })
-	e.Shard(1).Schedule(3600*Duration(Second), func() { t.Error("event fired after Stop") })
+	Schedule(e.Shard(0), Duration(Millisecond), func() { e.Stop() })
+	Schedule(e.Shard(1), 3600*Duration(Second), func() { t.Error("event fired after Stop") })
 	err := e.RunUntil(Time(7200 * Second))
 	if !errors.Is(err, ErrStopped) {
 		t.Fatalf("RunUntil returned %v, want ErrStopped", err)
@@ -301,13 +301,10 @@ func TestShardedEngineRestrictedSurface(t *testing.T) {
 		fn()
 	}
 	expectPanic("ShardedEngine.RNG", func() { e.RNG() })
-	expectPanic("ShardedEngine.Schedule", func() { e.Schedule(0, func() {}) })
-	expectPanic("ShardedEngine.ScheduleAt", func() { e.ScheduleAt(0, func() {}) })
-	expectPanic("ShardedEngine.ScheduleArg", func() { e.ScheduleArg(0, func(any) {}, nil) })
-	expectPanic("ShardedEngine.Ticker", func() { e.Ticker(Duration(Millisecond), func() {}) })
-	expectPanic("crossEngine.Schedule", func() { c.Schedule(0, func() {}) })
-	expectPanic("crossEngine.ScheduleAt", func() { c.ScheduleAt(0, func() {}) })
-	expectPanic("crossEngine.Ticker", func() { c.Ticker(Duration(Millisecond), func() {}) })
+	expectPanic("ShardedEngine.ScheduleArgAt", func() { e.ScheduleArgAt(0, func(Time, any) {}, nil) })
+	expectPanic("Schedule on ShardedEngine", func() { Schedule(e, 0, func() {}) })
+	expectPanic("ScheduleAt on ShardedEngine", func() { ScheduleAt(e, 0, func() {}) })
+	expectPanic("Ticker on ShardedEngine", func() { Ticker(e, Duration(Millisecond), func() {}) })
 	expectPanic("crossEngine.Run", func() { c.Run() })
 	expectPanic("crossEngine.RunUntil", func() { c.RunUntil(0) })
 	expectPanic("crossEngine.RunFor", func() { c.RunFor(0) })
@@ -337,7 +334,7 @@ func TestWithRNG(t *testing.T) {
 		}
 	}
 	fired := false
-	pinned.Schedule(Duration(Millisecond), func() { fired = true })
+	Schedule(pinned, Duration(Millisecond), func() { fired = true })
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +379,7 @@ func TestShardedNoCrossRunsIndependently(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		s := e.Shard(i)
 		for j := 0; j < 25; j++ {
-			s.Schedule(Duration(j)*Duration(Millisecond), func() {})
+			Schedule(s, Duration(j)*Duration(Millisecond), func() {})
 			total++
 		}
 	}

@@ -8,12 +8,16 @@
 // simulator described in the paper (NetSquid/DynAA): entities register
 // handlers, schedule future work, and communicate through delayed delivery
 // (see the channel helpers in this package and internal/classical).
+//
+// Scheduling is built on one canonical primitive — Engine.ScheduleArgAt — an
+// argument-carrying event at an absolute time. The package-level Schedule,
+// ScheduleAt, ScheduleArg and Ticker helpers are thin wrappers over it (see
+// engine.go), and the pending-event store behind a Simulator is a pluggable
+// queue discipline (see queue.go and wheel.go) selected per run.
 package sim
 
 import (
-	"container/heap"
 	"errors"
-	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -62,15 +66,20 @@ func DurationSeconds(s float64) Duration { return Duration(s * float64(Second)) 
 // microseconds.
 func DurationMicroseconds(us float64) Duration { return Duration(us * float64(Microsecond)) }
 
-// Handler is a callback executed when an event fires.
+// Handler is a parameterless callback executed when an event fires. Handlers
+// ride the canonical argument-carrying event as the argument itself (func
+// values are pointer-shaped, so the conversion does not allocate).
 type Handler func()
 
-// ArgHandler is a callback executed with the argument it was scheduled with.
-// Hot paths that deliver a value into a fixed handler (e.g. one classical
-// message into one channel's delivery function) use ScheduleArg with a
-// handler built once, instead of allocating a fresh capturing closure per
-// event.
-type ArgHandler func(arg any)
+// ArgHandler is the canonical event callback: it receives the event's
+// timestamp and the argument it was scheduled with. Hot paths that deliver a
+// value into a fixed handler (e.g. one classical message into one channel's
+// delivery function) build the handler once and schedule pooled
+// argument-carrying events, instead of allocating a fresh capturing closure
+// per event. The now argument is the firing event's absolute time — equal to
+// Engine.Now() inside the callback on a local engine, and the only clock a
+// cross-shard delivery handler should use.
+type ArgHandler func(now Time, arg any)
 
 // event is a single scheduled callback. Event structs are pooled: once an
 // event has fired (or been compacted away) its struct is recycled by the
@@ -81,11 +90,11 @@ type event struct {
 	at       Time
 	seq      uint64 // insertion order, breaks ties deterministically
 	gen      uint64 // incarnation counter, guards pooled reuse
-	fn       Handler
-	argFn    ArgHandler // set instead of fn for argument-carrying events
+	fn       ArgHandler
 	arg      any
 	canceled bool
-	index    int // heap index
+	index    int    // heap position (heap discipline only)
+	next     *event // intrusive bucket link (wheel discipline only)
 }
 
 // EventID identifies a scheduled event so it can be cancelled.
@@ -98,7 +107,7 @@ type EventID struct {
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. When cancellations accumulate beyond
 // half the pending queue the simulator compacts them out immediately (see
-// Simulator.compact), so Ticker-stop/Cancel churn cannot grow the heap
+// Simulator.maybeCompact), so Ticker-stop/Cancel churn cannot grow the queue
 // unboundedly on long runs.
 func (id EventID) Cancel() {
 	ev := id.ev
@@ -108,35 +117,6 @@ func (id EventID) Cancel() {
 	ev.canceled = true
 	id.s.canceledPending++
 	id.s.maybeCompact()
-}
-
-// eventQueue is a min-heap of events ordered by (time, sequence).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
 }
 
 // ErrStopped is returned by Run when the simulation was halted explicitly.
@@ -149,7 +129,7 @@ var ErrStopped = errors.New("sim: stopped")
 // protocols under test (both nodes must make identical scheduling decisions).
 type Simulator struct {
 	now     Time
-	queue   eventQueue
+	q       eventQueue
 	nextSeq uint64
 	rng     *RNG
 	stopped bool
@@ -157,41 +137,30 @@ type Simulator struct {
 	executed uint64
 	// free is the recycled-event pool; see the event type.
 	free []*event
-	// canceledPending counts cancelled events still resident in the queue;
-	// once they outnumber the live ones the queue is compacted.
+	// canceledPending counts cancelled events not yet removed (resident in
+	// the queue or awaiting dispatch in the current batch); once they
+	// outnumber the live queue residents the queue is compacted.
 	canceledPending int
 	// compactions counts how many times the queue was compacted.
 	compactions uint64
+	// batch is the reusable same-timestamp dispatch buffer; batchRemaining
+	// counts its not-yet-fired events so Pending stays exact mid-callback.
+	batch          []*event
+	batchRemaining int
 }
 
 // compactMinLen is the queue size below which compaction is not worth the
-// rebuild: popping a few dead events is cheaper than re-heapifying.
+// rebuild: popping a few dead events is cheaper than rebuilding the queue.
 const compactMinLen = 64
 
-// maybeCompact rebuilds the queue without its cancelled events once they
-// outnumber the live ones. Pop order is unaffected: events are totally
-// ordered by (time, sequence), so any heap over the same live set pops
-// identically.
+// maybeCompact removes cancelled events from the queue once they outnumber
+// the live ones. Pop order is unaffected: events are totally ordered by
+// (time, sequence), so any queue over the same live set pops identically.
 func (s *Simulator) maybeCompact() {
-	if s.canceledPending*2 <= len(s.queue) || len(s.queue) < compactMinLen {
+	if s.canceledPending*2 <= s.q.len() || s.q.len() < compactMinLen {
 		return
 	}
-	live := s.queue[:0]
-	for _, ev := range s.queue {
-		if ev.canceled {
-			s.recycle(ev)
-			continue
-		}
-		ev.index = len(live)
-		live = append(live, ev)
-	}
-	// Clear the tail so recycled events are not retained by the backing array.
-	for i := len(live); i < len(s.queue); i++ {
-		s.queue[i] = nil
-	}
-	s.queue = live
-	heap.Init(&s.queue)
-	s.canceledPending = 0
+	s.canceledPending -= s.q.compact(s.recycle)
 	s.compactions++
 }
 
@@ -199,12 +168,12 @@ func (s *Simulator) maybeCompact() {
 // the queue.
 func (s *Simulator) Compactions() uint64 { return s.compactions }
 
-// CanceledPending reports how many cancelled events are still resident in
-// the queue (they are skipped when popped, or removed by compaction).
+// CanceledPending reports how many cancelled events are still resident (they
+// are skipped when popped, or removed by compaction).
 func (s *Simulator) CanceledPending() int { return s.canceledPending }
 
 // newEvent returns a pooled (or fresh) event initialised for scheduling.
-func (s *Simulator) newEvent(at Time, fn Handler) *event {
+func (s *Simulator) newEvent(at Time, fn ArgHandler, arg any) *event {
 	var ev *event
 	if n := len(s.free); n > 0 {
 		ev = s.free[n-1]
@@ -216,6 +185,7 @@ func (s *Simulator) newEvent(at Time, fn Handler) *event {
 	ev.at = at
 	ev.seq = s.nextSeq
 	ev.fn = fn
+	ev.arg = arg
 	ev.canceled = false
 	s.nextSeq++
 	return ev
@@ -226,15 +196,21 @@ func (s *Simulator) newEvent(at Time, fn Handler) *event {
 func (s *Simulator) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
-	ev.argFn = nil
 	ev.arg = nil
 	ev.index = -1
+	ev.next = nil
 	s.free = append(s.free, ev)
 }
 
-// New creates a simulator whose random number generator is seeded with seed.
-func New(seed int64) *Simulator {
-	return &Simulator{rng: NewRNG(seed)}
+// New creates a simulator on the reference heap queue, seeded with seed.
+func New(seed int64) *Simulator { return NewWithQueue(seed, QueueHeap) }
+
+// NewWithQueue creates a simulator on the given queue discipline, seeded with
+// seed. Execution order and every deterministic counter are identical across
+// disciplines; choose QueueWheel for the fastest event loop on workloads
+// dominated by short regular delays.
+func NewWithQueue(seed int64, queue QueueKind) *Simulator {
+	return &Simulator{rng: NewRNG(seed), q: newQueue(queue)}
 }
 
 // Now returns the current simulated time.
@@ -246,57 +222,22 @@ func (s *Simulator) RNG() *RNG { return s.rng }
 // Executed reports how many events have fired so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
-// Pending reports how many events are scheduled and not yet fired.
-func (s *Simulator) Pending() int { return s.queue.Len() }
+// Pending reports how many events are scheduled and not yet fired (including
+// cancelled events awaiting lazy removal).
+func (s *Simulator) Pending() int { return s.q.len() + s.batchRemaining }
 
-// Schedule registers fn to run after delay. A negative delay is treated as
-// zero (the event runs at the current time, after already-queued events for
-// the same instant).
-func (s *Simulator) Schedule(delay Duration, fn Handler) EventID {
-	if delay < 0 {
-		delay = 0
-	}
-	return s.ScheduleAt(s.now.Add(delay), fn)
-}
-
-// ScheduleAt registers fn to run at absolute time at. Times in the past are
-// clamped to the present.
-func (s *Simulator) ScheduleAt(at Time, fn Handler) EventID {
-	if at < s.now {
-		at = s.now
-	}
-	ev := s.newEvent(at, fn)
-	heap.Push(&s.queue, ev)
-	return EventID{s: s, ev: ev, gen: ev.gen}
-}
-
-// ScheduleArg registers fn to run after delay with the given argument. It
-// behaves exactly like Schedule but carries the argument in the pooled event
-// itself, so callers with a long-lived handler avoid allocating a capturing
-// closure per event.
-func (s *Simulator) ScheduleArg(delay Duration, fn ArgHandler, arg any) EventID {
-	if delay < 0 {
-		delay = 0
-	}
-	ev := s.newEvent(s.now.Add(delay), nil)
-	ev.argFn = fn
-	ev.arg = arg
-	heap.Push(&s.queue, ev)
-	return EventID{s: s, ev: ev, gen: ev.gen}
-}
-
-// ScheduleArgAt registers an argument-carrying event at absolute time at
-// (clamped to the present, like ScheduleAt). The sharded engine's barrier
-// merge uses it to inject cross-shard deliveries with their original arrival
-// timestamps.
+// ScheduleArgAt registers an argument-carrying event at absolute time at;
+// times in the past are clamped to the present. This is the one canonical
+// scheduling primitive — Schedule, ScheduleAt, ScheduleArg and Ticker are
+// package-level wrappers over it — and the sharded engine's barrier merge
+// uses it directly to inject cross-shard deliveries with their original
+// arrival timestamps.
 func (s *Simulator) ScheduleArgAt(at Time, fn ArgHandler, arg any) EventID {
 	if at < s.now {
 		at = s.now
 	}
-	ev := s.newEvent(at, nil)
-	ev.argFn = fn
-	ev.arg = arg
-	heap.Push(&s.queue, ev)
+	ev := s.newEvent(at, fn, arg)
+	s.q.push(ev)
 	return EventID{s: s, ev: ev, gen: ev.gen}
 }
 
@@ -305,44 +246,89 @@ func (s *Simulator) ScheduleArgAt(at Time, fn ArgHandler, arg any) EventID {
 // that will actually fire — which is the safe direction for the sharded
 // engine's window computation.
 func (s *Simulator) nextEventAt() (Time, bool) {
-	if s.queue.Len() == 0 {
-		return 0, false
+	if ev := s.q.peek(); ev != nil {
+		return ev.at, true
 	}
-	return s.queue[0].at, true
+	return 0, false
 }
 
 // Stop halts the simulation; Run and RunUntil return promptly after the
 // current event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
-// step executes the next pending event, returning false when none remain.
+// step executes every pending event sharing the earliest timestamp within
+// limit, as one batch: the clock is set once, cancelled events are drained,
+// and the callbacks run in (time, sequence) order. Batching is semantically
+// identical to popping one event at a time — an event scheduled from inside
+// a batch callback at the same timestamp has a larger sequence number, so it
+// fires after the batch either way — but saves one queue descent per
+// same-timestamp event. Returns false when no event within limit remains.
 func (s *Simulator) step(limit Time) bool {
-	for s.queue.Len() > 0 {
-		next := s.queue[0]
+	// Find the earliest live event, lazily removing cancelled heads.
+	var head *event
+	for {
+		next := s.q.peek()
+		if next == nil {
+			return false
+		}
 		if limit >= 0 && next.at > limit {
 			return false
 		}
-		heap.Pop(&s.queue)
+		s.q.pop()
 		if next.canceled {
 			s.canceledPending--
 			s.recycle(next)
 			continue
 		}
-		fn, argFn, arg := next.fn, next.argFn, next.arg
-		s.now = next.at
-		s.executed++
-		// Recycle before running: the callback may schedule new events, which
-		// can then reuse this struct immediately (stale EventIDs are
-		// gen-guarded).
-		s.recycle(next)
-		if argFn != nil {
-			argFn(arg)
-		} else {
-			fn()
-		}
-		return true
+		head = next
+		break
 	}
-	return false
+	// Collect the rest of its timestamp batch.
+	batch := append(s.batch[:0], head)
+	for {
+		next := s.q.peek()
+		if next == nil || next.at != head.at {
+			break
+		}
+		s.q.pop()
+		if next.canceled {
+			s.canceledPending--
+			s.recycle(next)
+			continue
+		}
+		batch = append(batch, next)
+	}
+	s.batch = batch
+	s.now = head.at
+	s.batchRemaining = len(batch)
+	for i, ev := range batch {
+		if s.stopped {
+			// Re-push the unexecuted remainder; sequence numbers are
+			// preserved, so a later run pops it in the original order.
+			for j := i; j < len(batch); j++ {
+				s.q.push(batch[j])
+				batch[j] = nil
+			}
+			s.batchRemaining = 0
+			return true
+		}
+		batch[i] = nil
+		s.batchRemaining--
+		if ev.canceled {
+			// Cancelled by an earlier callback in this batch.
+			s.canceledPending--
+			s.recycle(ev)
+			continue
+		}
+		fn, arg, at := ev.fn, ev.arg, ev.at
+		s.executed++
+		// Recycle before running: the callback may schedule new events,
+		// which can then reuse this struct immediately (stale EventIDs are
+		// gen-guarded).
+		s.recycle(ev)
+		fn(at, arg)
+	}
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called. It returns
@@ -376,27 +362,6 @@ func (s *Simulator) RunUntil(t Time) error {
 // RunFor executes events for d simulated time starting from the current
 // clock value.
 func (s *Simulator) RunFor(d Duration) error { return s.RunUntil(s.now.Add(d)) }
-
-// Ticker invokes fn every period until the returned stop function is called
-// or the simulation ends. The first invocation happens after one full period.
-func (s *Simulator) Ticker(period Duration, fn Handler) (stop func()) {
-	if period <= 0 {
-		panic(fmt.Sprintf("sim: non-positive ticker period %d", period))
-	}
-	stopped := false
-	var tick Handler
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			s.Schedule(period, tick)
-		}
-	}
-	s.Schedule(period, tick)
-	return func() { stopped = true }
-}
 
 // RNG wraps math/rand with convenience samplers used across the simulation.
 // All stochastic behaviour in the reproduction flows through one RNG per run

@@ -9,9 +9,9 @@ import (
 func TestScheduleOrdering(t *testing.T) {
 	s := New(1)
 	var order []int
-	s.Schedule(30, func() { order = append(order, 3) })
-	s.Schedule(10, func() { order = append(order, 1) })
-	s.Schedule(20, func() { order = append(order, 2) })
+	Schedule(s, 30, func() { order = append(order, 3) })
+	Schedule(s, 10, func() { order = append(order, 1) })
+	Schedule(s, 20, func() { order = append(order, 2) })
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -28,7 +28,7 @@ func TestScheduleTieBreakInsertionOrder(t *testing.T) {
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
-		s.Schedule(5, func() { order = append(order, i) })
+		Schedule(s, 5, func() { order = append(order, i) })
 	}
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -43,9 +43,9 @@ func TestScheduleTieBreakInsertionOrder(t *testing.T) {
 func TestNestedScheduling(t *testing.T) {
 	s := New(1)
 	fired := 0
-	s.Schedule(10, func() {
+	Schedule(s, 10, func() {
 		fired++
-		s.Schedule(5, func() { fired++ })
+		Schedule(s, 5, func() { fired++ })
 	})
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -61,7 +61,7 @@ func TestNestedScheduling(t *testing.T) {
 func TestRunUntilAdvancesClock(t *testing.T) {
 	s := New(1)
 	fired := false
-	s.Schedule(100, func() { fired = true })
+	Schedule(s, 100, func() { fired = true })
 	if err := s.RunUntil(50); err != nil {
 		t.Fatalf("RunUntil: %v", err)
 	}
@@ -85,7 +85,7 @@ func TestRunUntilAdvancesClock(t *testing.T) {
 func TestRunForRelative(t *testing.T) {
 	s := New(1)
 	count := 0
-	s.Ticker(10, func() { count++ })
+	Ticker(s, 10, func() { count++ })
 	if err := s.RunFor(100); err != nil {
 		t.Fatalf("RunFor: %v", err)
 	}
@@ -103,7 +103,7 @@ func TestRunForRelative(t *testing.T) {
 func TestCancel(t *testing.T) {
 	s := New(1)
 	fired := false
-	id := s.Schedule(10, func() { fired = true })
+	id := Schedule(s, 10, func() { fired = true })
 	id.Cancel()
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -116,7 +116,7 @@ func TestCancel(t *testing.T) {
 func TestStop(t *testing.T) {
 	s := New(1)
 	count := 0
-	s.Ticker(1, func() {
+	Ticker(s, 1, func() {
 		count++
 		if count == 5 {
 			s.Stop()
@@ -134,7 +134,7 @@ func TestTickerStop(t *testing.T) {
 	s := New(1)
 	count := 0
 	var stop func()
-	stop = s.Ticker(10, func() {
+	stop = Ticker(s, 10, func() {
 		count++
 		if count == 3 {
 			stop()
@@ -151,7 +151,7 @@ func TestTickerStop(t *testing.T) {
 func TestNegativeDelayClamped(t *testing.T) {
 	s := New(1)
 	fired := false
-	s.Schedule(-5, func() { fired = true })
+	Schedule(s, -5, func() { fired = true })
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -164,7 +164,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func(seed int64) []float64 {
 		s := New(seed)
 		var samples []float64
-		s.Ticker(10, func() { samples = append(samples, s.RNG().Float64()) })
+		Ticker(s, 10, func() { samples = append(samples, s.RNG().Float64()) })
 		_ = s.RunFor(1000)
 		return samples
 	}
@@ -293,7 +293,7 @@ func TestChoiceWeighted(t *testing.T) {
 func TestEventCountTracking(t *testing.T) {
 	s := New(1)
 	for i := 0; i < 5; i++ {
-		s.Schedule(Duration(i), func() {})
+		Schedule(s, Duration(i), func() {})
 	}
 	if s.Pending() != 5 {
 		t.Fatalf("Pending = %d, want 5", s.Pending())
@@ -322,7 +322,7 @@ func TestPropertyEventOrdering(t *testing.T) {
 			if dur > maxDelay {
 				maxDelay = dur
 			}
-			s.Schedule(dur, func() { fireTimes = append(fireTimes, s.Now()) })
+			Schedule(s, dur, func() { fireTimes = append(fireTimes, s.Now()) })
 		}
 		if err := s.Run(); err != nil {
 			return false

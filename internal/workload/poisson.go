@@ -100,7 +100,7 @@ func (p *PoissonStream) Stop() { p.running = false }
 // arrival.
 func (p *PoissonStream) scheduleNext(generation uint64) {
 	delay := sim.DurationSeconds(p.sim.RNG().Exponential(p.rate))
-	p.sim.Schedule(delay, func() {
+	sim.Schedule(p.sim, delay, func() {
 		if !p.running || generation != p.generation {
 			return
 		}

@@ -121,7 +121,7 @@ func NewGenerator(net *core.Network, origin Origin, classes []Class) *Generator 
 // clock. Call the returned stop function (or Stop) to halt arrivals.
 func (g *Generator) Start() (stop func()) {
 	period := g.net.Platform.CycleTime[nv.RequestMeasure]
-	g.stop = g.net.Sim.Ticker(period, g.tick)
+	g.stop = sim.Ticker(g.net.Sim, period, g.tick)
 	return g.Stop
 }
 
