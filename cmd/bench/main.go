@@ -32,6 +32,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/quantum"
 	"repro/internal/sim"
 )
@@ -52,6 +54,12 @@ func main() {
 		backend   = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) Bell-diagonal fast path); $REPRO_BACKEND sets the default")
 		shards    = flag.Int("shards", 0, "worker shards of the simulation engine (<=1 serial; counters are identical at any shard count)")
 		queue     = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON flight recording of trial 0 to this file (single scenario only; view in ui.perfetto.dev)")
+		traceCap   = flag.Int("tracecap", 1<<16, "per-ring record capacity of the flight recorder (rounded up to a power of two)")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot of trial 0 to this file (single scenario only)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
 	)
 	flag.Parse()
 
@@ -99,6 +107,39 @@ func main() {
 		Queue:       qk,
 	}
 
+	// Observability attaches to trial 0 of a single selected scenario, so the
+	// emitted files unambiguously describe one workload. The counter pass is
+	// unperturbed by it; the alloc and wall-clock passes never see it.
+	var tracer *obs.Tracer
+	var registry *obs.Registry
+	if *traceOut != "" || *metricsOut != "" {
+		if len(selected) != 1 {
+			fmt.Fprintln(os.Stderr, "-trace/-metrics require exactly one scenario (use -scenarios <name>)")
+			os.Exit(2)
+		}
+		if *traceOut != "" {
+			shardCount := *shards
+			if shardCount < 1 {
+				shardCount = 1
+			}
+			tracer = obs.NewTracer(shardCount, *traceCap)
+		}
+		if *metricsOut != "" {
+			registry = obs.NewRegistry()
+		}
+		opts.Instrument = func(trial int) (*obs.Tracer, *obs.Registry) {
+			if trial == 0 {
+				return tracer, registry
+			}
+			return nil, nil
+		}
+	}
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	engine := "serial engine"
 	if *shards > 1 {
 		engine = fmt.Sprintf("%d-shard engine", *shards)
@@ -118,12 +159,14 @@ func main() {
 	}
 
 	var regressions []string
+	var trialSimSeconds float64
 	for _, sc := range selected {
 		res, err := bench.Run(sc, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		trialSimSeconds = res.Config.SimSeconds
 		row := []string{
 			res.Scenario,
 			fmt.Sprintf("%d", res.Totals.Events),
@@ -172,6 +215,23 @@ func main() {
 				regressions = append(regressions, regs...)
 			}
 		}
+	}
+
+	stopCPU()
+	if err := prof.WriteTrace(*traceOut, tracer); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if registry != nil {
+		end := sim.Time(sim.DurationSeconds(trialSimSeconds))
+		if err := prof.WriteMetrics(*metricsOut, registry, end); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := prof.WriteHeap(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	fmt.Println(table.String())

@@ -27,6 +27,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/nv"
+	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/quantum"
 	"repro/internal/sim"
 )
@@ -37,23 +39,30 @@ type trialStats struct {
 	agg     network.PathStats
 	swaps   uint64
 	path    string
+	end     sim.Time
 }
 
 // runTrial builds and runs one network + service with a trial-derived seed.
+// trace and registry (normally non-nil only for trial 0) attach the
+// observability layer; they never change the simulated trajectory.
 func runTrial(spec netsim.Spec, scenario nv.ScenarioID, backend quantum.Backend, queue sim.QueueKind, loss float64, cost string, gate float64,
-	traffic network.TrafficConfig, seed int64, trial int, seconds float64) (trialStats, error) {
+	traffic network.TrafficConfig, seed int64, trial int, seconds float64, trace *obs.Tracer, registry *obs.Registry) (trialStats, error) {
 	cfg := netsim.DefaultConfig(spec, scenario)
 	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
 	cfg.Backend = backend
 	cfg.Queue = queue
 	cfg.ClassicalLossProb = loss
 	cfg.HoldPairs = true
+	cfg.Trace = trace
+	cfg.Metrics = registry
 	nw, err := netsim.NewNetwork(cfg)
 	if err != nil {
 		return trialStats{}, err
 	}
 	ncfg := network.DefaultConfig()
 	ncfg.SwapGateFidelity = gate
+	ncfg.Trace = trace
+	ncfg.Metrics = registry
 	costFn, ok := network.CostByName(nw, cost)
 	if !ok {
 		return trialStats{}, fmt.Errorf("unknown cost %q (hops|fidelity|rate)", cost)
@@ -72,7 +81,7 @@ func runTrial(spec netsim.Spec, scenario nv.ScenarioID, backend quantum.Backend,
 	nw.Run(sim.DurationSeconds(seconds))
 	svc.FinishAt(nw.Sim.Now())
 	perPath, agg := svc.Stats()
-	return trialStats{perPath: perPath, agg: agg, swaps: svc.Swaps(), path: p.String()}, nil
+	return trialStats{perPath: perPath, agg: agg, swaps: svc.Swaps(), path: p.String(), end: nw.Sim.Now()}, nil
 }
 
 // statsRow renders one averaged row.
@@ -91,10 +100,11 @@ func statsRow(s network.PathStats) []string {
 		fmt.Sprintf("%.4f", s.SwapP99),
 		fmt.Sprintf("%.4f", s.E2EP50),
 		fmt.Sprintf("%.4f", s.E2EP99),
+		fmt.Sprintf("%.4f", s.TTPP99),
 	}
 }
 
-var statsColumns = []string{"path", "hops", "requests", "completed", "failed", "pairs", "throughput(1/s)", "fidelity", "predicted", "swap_p50(s)", "swap_p99(s)", "e2e_p50(s)", "e2e_p99(s)"}
+var statsColumns = []string{"path", "hops", "requests", "completed", "failed", "pairs", "throughput(1/s)", "fidelity", "predicted", "swap_p50(s)", "swap_p99(s)", "e2e_p50(s)", "e2e_p99(s)", "ttp_p99(s)"}
 
 func main() {
 	var (
@@ -117,6 +127,12 @@ func main() {
 		trials   = flag.Int("trials", 3, "independent repetitions (seeds derived from -seed)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
 		queue    = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON flight recording of trial 0 to this file (view in ui.perfetto.dev)")
+		traceCap   = flag.Int("tracecap", 1<<16, "per-ring record capacity of the flight recorder (rounded up to a power of two)")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot of trial 0 to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
 	)
 	flag.Parse()
 
@@ -170,16 +186,54 @@ func main() {
 		MaxTime:     sim.DurationSeconds(*deadline),
 	}
 
+	// Observability attaches to trial 0 only: the remaining trials stay on
+	// the uninstrumented production path (tracing would not change their
+	// trajectory either way, but one recorded trial is all the files need).
+	var tracer *obs.Tracer
+	var registry *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.NewTracer(1, *traceCap)
+	}
+	if *metricsOut != "" {
+		registry = obs.NewRegistry()
+	}
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	results := make([]trialStats, *trials)
 	errs := make([]error, *trials)
 	experiments.RunIndexed(*trials, *parallel, func(i int) {
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), be, qk, *loss, *cost, *gate, traffic, *seed, i, *seconds)
+		var tr *obs.Tracer
+		var reg *obs.Registry
+		if i == 0 {
+			tr, reg = tracer, registry
+		}
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), be, qk, *loss, *cost, *gate, traffic, *seed, i, *seconds, tr, reg)
 	})
 	for _, err := range errs {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	stopCPU()
+	if err := prof.WriteTrace(*traceOut, tracer); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if registry != nil {
+		if err := prof.WriteMetrics(*metricsOut, registry, results[0].end); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := prof.WriteHeap(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	var swaps uint64

@@ -25,6 +25,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/nv"
+	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/quantum"
 	"repro/internal/sim"
 )
@@ -33,11 +35,14 @@ import (
 type trialStats struct {
 	perLink []netsim.LinkStats
 	agg     netsim.LinkStats
+	end     sim.Time
 }
 
-// runTrial builds and runs one network with a trial-derived seed.
+// runTrial builds and runs one network with a trial-derived seed. trace and
+// registry (normally non-nil only for trial 0) attach the observability
+// layer; they never change the simulated trajectory.
 func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, backend quantum.Backend, queue sim.QueueKind, loss float64,
-	traffic netsim.TrafficConfig, seed int64, trial int, seconds float64, shards int) (trialStats, error) {
+	traffic netsim.TrafficConfig, seed int64, trial int, seconds float64, shards int, trace *obs.Tracer, registry *obs.Registry) (trialStats, error) {
 	cfg := netsim.DefaultConfig(spec, scenario)
 	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
 	cfg.Scheduler = scheduler
@@ -45,6 +50,8 @@ func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, backen
 	cfg.Queue = queue
 	cfg.ClassicalLossProb = loss
 	cfg.Shards = shards
+	cfg.Trace = trace
+	cfg.Metrics = registry
 	nw, err := netsim.NewNetwork(cfg)
 	if err != nil {
 		return trialStats{}, err
@@ -52,7 +59,7 @@ func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, backen
 	nw.AttachTraffic(traffic)
 	nw.Run(sim.DurationSeconds(seconds))
 	perLink, agg := nw.Stats()
-	return trialStats{perLink: perLink, agg: agg}, nil
+	return trialStats{perLink: perLink, agg: agg, end: nw.Sim.Now()}, nil
 }
 
 // statsRow renders one averaged row.
@@ -93,6 +100,12 @@ func main() {
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
 		shards    = flag.Int("shards", 0, "worker shards of the simulation engine (<=1 serial; tables are identical at any shard count)")
 		queue     = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON flight recording of trial 0 to this file (view in ui.perfetto.dev)")
+		traceCap   = flag.Int("tracecap", 1<<16, "per-ring record capacity of the flight recorder (rounded up to a power of two)")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot of trial 0 to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
 	)
 	flag.Parse()
 
@@ -140,18 +153,59 @@ func main() {
 		Keep:        *keep,
 	}
 
+	// Observability attaches to trial 0 only; the remaining trials stay on
+	// the uninstrumented production path.
+	var tracer *obs.Tracer
+	var registry *obs.Registry
+	if *traceOut != "" {
+		shardCount := *shards
+		if shardCount < 1 {
+			shardCount = 1
+		}
+		tracer = obs.NewTracer(shardCount, *traceCap)
+	}
+	if *metricsOut != "" {
+		registry = obs.NewRegistry()
+	}
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	// Fan the trials out over the worker pool; results land at their own
 	// index so the aggregation below is order-independent.
 	results := make([]trialStats, *trials)
 	errs := make([]error, *trials)
 	experiments.RunIndexed(*trials, *parallel, func(i int) {
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, be, qk, *loss, traffic, *seed, i, *seconds, *shards)
+		var tr *obs.Tracer
+		var reg *obs.Registry
+		if i == 0 {
+			tr, reg = tracer, registry
+		}
+		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, be, qk, *loss, traffic, *seed, i, *seconds, *shards, tr, reg)
 	})
 	for _, err := range errs {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	stopCPU()
+	if err := prof.WriteTrace(*traceOut, tracer); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if registry != nil {
+		if err := prof.WriteMetrics(*metricsOut, registry, results[0].end); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := prof.WriteHeap(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	kind := "M"

@@ -27,6 +27,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/nv"
+	"repro/internal/obs"
 	"repro/internal/quantum"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -88,6 +89,13 @@ type BuildConfig struct {
 	// Queue selects the event-queue discipline (heap or timing wheel).
 	// Deterministic counters are identical under either.
 	Queue sim.QueueKind
+	// Trace, when non-nil, flight-records the instance's activity. It must
+	// have at least max(1, Shards) shards. Tracing never perturbs the
+	// simulation trajectory, so the deterministic counters are unchanged.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the instance's per-layer counters and
+	// time-to-pair histograms.
+	Metrics *obs.Registry
 }
 
 // Scenario is a registered benchmark workload.
@@ -141,6 +149,8 @@ func buildNetsim(spec netsim.Spec) func(build BuildConfig) (Instance, error) {
 		cfg.Backend = build.Backend
 		cfg.Shards = build.Shards
 		cfg.Queue = build.Queue
+		cfg.Trace = build.Trace
+		cfg.Metrics = build.Metrics
 		nw, err := netsim.NewNetwork(cfg)
 		if err != nil {
 			return nil, err
@@ -200,11 +210,16 @@ func buildE2E(nodes int) func(build BuildConfig) (Instance, error) {
 		cfg.Backend = build.Backend
 		cfg.Queue = build.Queue
 		cfg.HoldPairs = true
+		cfg.Trace = build.Trace
+		cfg.Metrics = build.Metrics
 		nw, err := netsim.NewNetwork(cfg)
 		if err != nil {
 			return nil, err
 		}
-		svc, err := network.NewService(nw, network.DefaultConfig())
+		svcCfg := network.DefaultConfig()
+		svcCfg.Trace = build.Trace
+		svcCfg.Metrics = build.Metrics
+		svc, err := network.NewService(nw, svcCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -311,6 +326,14 @@ type Options struct {
 	// on (heap by default; cmd/bench resolves -queue / $REPRO_QUEUE into
 	// it). The deterministic counters are independent of it.
 	Queue sim.QueueKind
+	// Instrument, when set, is called once per counter-pass trial and may
+	// return a tracer and/or metrics registry to attach to that trial
+	// (typically non-nil only for trial 0). It applies to pass 1 only; the
+	// allocation and wall-clock passes always run uninstrumented so the
+	// host-cost numbers keep measuring the production hot path. Because the
+	// observability layer never perturbs the trajectory, the deterministic
+	// counters are identical with and without it.
+	Instrument func(trial int) (*obs.Tracer, *obs.Registry)
 }
 
 // withDefaults fills in unset options (SimSeconds is resolved per scenario
@@ -372,7 +395,12 @@ func Run(sc Scenario, opts Options) (Result, error) {
 	counters := make([]Counters, opts.Trials)
 	errs := make([]error, opts.Trials)
 	experiments.RunIndexed(opts.Trials, opts.Parallelism, func(i int) {
-		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, uint64(i)), Backend: opts.Backend, Shards: opts.Shards, Queue: opts.Queue})
+		var tracer *obs.Tracer
+		var registry *obs.Registry
+		if opts.Instrument != nil {
+			tracer, registry = opts.Instrument(i)
+		}
+		inst, err := sc.Build(BuildConfig{Seed: experiments.DeriveSeed(opts.Seed, uint64(i)), Backend: opts.Backend, Shards: opts.Shards, Queue: opts.Queue, Trace: tracer, Metrics: registry})
 		if err != nil {
 			errs[i] = err
 			return

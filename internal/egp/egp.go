@@ -6,6 +6,7 @@ import (
 	"repro/internal/classical"
 	"repro/internal/mhp"
 	"repro/internal/nv"
+	"repro/internal/obs"
 	"repro/internal/photonics"
 	"repro/internal/quantum"
 	"repro/internal/sim"
@@ -123,6 +124,15 @@ type Config struct {
 	MinTimeMarginCycles uint64
 	// AcceptPolicy gates remotely originated requests by purpose ID.
 	AcceptPolicy AcceptPolicy
+
+	// Trace, when non-nil, records the OK/error/expiry lifecycle into the
+	// flight recorder under track TraceID (the link ID). Nil disables
+	// recording at the cost of one branch per lifecycle event.
+	Trace   *obs.Ring
+	TraceID uint64
+	// Metrics, when non-nil, publishes lifecycle counters. Handles are
+	// nil-safe, so a nil bundle field costs nothing.
+	Metrics *obs.EGPMetrics
 }
 
 // EGP is one node's link layer protocol instance. It implements
@@ -331,6 +341,10 @@ func (e *EGP) Create(req CreateRequest) (uint16, wire.EGPError) {
 
 // emitError reports a request-level failure for a queue item.
 func (e *EGP) emitError(item *QueueItem, code wire.EGPError) {
+	e.cfg.Trace.Record(e.cfg.Sim.Now(), obs.KindEGPError, e.cfg.TraceID, int64(item.CreateID), int64(code))
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Errors.Inc()
+	}
 	if e.cfg.OnError == nil {
 		return
 	}
@@ -345,6 +359,10 @@ func (e *EGP) emitError(item *QueueItem, code wire.EGPError) {
 }
 
 func (e *EGP) emitErrorRaw(createID uint16, priority int, code wire.EGPError) {
+	e.cfg.Trace.Record(e.cfg.Sim.Now(), obs.KindEGPError, e.cfg.TraceID, int64(createID), int64(code))
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Errors.Inc()
+	}
 	if e.cfg.OnError == nil {
 		return
 	}
@@ -713,6 +731,10 @@ func (e *EGP) completePair(item *QueueItem, r mhp.Result, ev OKEvent) {
 	ev.RequestDone = done
 	ev.CreateTime = item.CreateTime
 	ev.At = now
+	e.cfg.Trace.Record(now, obs.KindEGPOK, e.cfg.TraceID, int64(item.CreateID), int64(item.PairsLeft))
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.OKs.Inc()
+	}
 	if e.cfg.OnOK != nil {
 		e.cfg.OnOK(ev)
 	}
@@ -722,6 +744,10 @@ func (e *EGP) completePair(item *QueueItem, r mhp.Result, ev OKEvent) {
 // must be revoked, and schedules retransmission until acknowledged.
 func (e *EGP) sendExpire(id wire.AbsoluteQueueID, low, high uint16) {
 	e.expiresSent++
+	e.cfg.Trace.Record(e.cfg.Sim.Now(), obs.KindEGPExpire, e.cfg.TraceID, int64(high), 0)
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Expires.Inc()
+	}
 	frame := wire.ExpireFrame{
 		QueueID:      id,
 		OriginNodeID: e.cfg.NodeID,
@@ -785,6 +811,7 @@ func (e *EGP) handleExpire(raw []byte) {
 		return
 	}
 	e.expiresReceived++
+	e.cfg.Trace.Record(e.cfg.Sim.Now(), obs.KindEGPExpire, e.cfg.TraceID, int64(frame.ExpectedSeq-1), 1)
 	if seqAfter(frame.ExpectedSeq, e.expectedSeq) {
 		e.expectedSeq = frame.ExpectedSeq
 	}

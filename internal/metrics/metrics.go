@@ -17,6 +17,7 @@ type Series struct {
 	values []float64
 	sum    float64
 	sumSq  float64
+	sorted []float64 // lazily sorted copy for quantiles; nil when stale
 }
 
 // Add records one observation.
@@ -24,6 +25,7 @@ func (s *Series) Add(v float64) {
 	s.values = append(s.values, v)
 	s.sum += v
 	s.sumSq += v * v
+	s.sorted = nil
 }
 
 // Count returns the number of observations.
@@ -92,14 +94,25 @@ func (s *Series) Max() float64 {
 	return m
 }
 
+// sortedValues returns the observations in ascending order, sorting at most
+// once per batch of Adds: the sorted copy is cached and invalidated by Add,
+// so a sweep of quantile queries (p50/p90/p99 over the same series) costs one
+// sort instead of one per query.
+func (s *Series) sortedValues() []float64 {
+	if s.sorted == nil && len(s.values) > 0 {
+		s.sorted = append(make([]float64, 0, len(s.values)), s.values...)
+		sort.Float64s(s.sorted)
+	}
+	return s.sorted
+}
+
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) using nearest-rank on
-// a sorted copy.
+// the sorted observations.
 func (s *Series) Percentile(p float64) float64 {
-	if len(s.values) == 0 {
+	sorted := s.sortedValues()
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.values...)
-	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -112,6 +125,10 @@ func (s *Series) Percentile(p float64) float64 {
 	}
 	return sorted[rank]
 }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1); Quantile(q) is exactly
+// Percentile(100q).
+func (s *Series) Quantile(q float64) float64 { return s.Percentile(q * 100) }
 
 // Values returns a copy of the raw observations.
 func (s *Series) Values() []float64 { return append([]float64(nil), s.values...) }

@@ -36,6 +36,69 @@ func TestSeriesBasics(t *testing.T) {
 	}
 }
 
+func TestSeriesQuantile(t *testing.T) {
+	cases := []struct {
+		name          string
+		values        []float64
+		p50, p90, p99 float64
+	}{
+		{name: "empty", values: nil, p50: 0, p90: 0, p99: 0},
+		{name: "single", values: []float64{7}, p50: 7, p90: 7, p99: 7},
+		{name: "two", values: []float64{1, 9}, p50: 1, p90: 9, p99: 9},
+		{name: "duplicate-heavy", values: []float64{5, 5, 5, 5, 5, 5, 5, 5, 5, 100}, p50: 5, p90: 5, p99: 100},
+		{name: "all-equal", values: []float64{2, 2, 2, 2}, p50: 2, p90: 2, p99: 2},
+		{name: "unsorted", values: []float64{9, 1, 5, 3, 7, 2, 8, 4, 6, 10}, p50: 5, p90: 9, p99: 10},
+		{name: "hundred", values: func() []float64 {
+			v := make([]float64, 100)
+			for i := range v {
+				v[i] = float64(100 - i)
+			}
+			return v
+		}(), p50: 50, p90: 90, p99: 99},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Series
+			for _, v := range tc.values {
+				s.Add(v)
+			}
+			checks := []struct {
+				q    float64
+				want float64
+			}{{0.50, tc.p50}, {0.90, tc.p90}, {0.99, tc.p99}}
+			for _, c := range checks {
+				if got := s.Quantile(c.q); got != c.want {
+					t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+				}
+				if got := s.Percentile(c.q * 100); got != c.want {
+					t.Errorf("Percentile(%v) = %v, want %v", c.q*100, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSeriesQuantileCacheInvalidation(t *testing.T) {
+	var s Series
+	s.Add(10)
+	if s.Quantile(0.5) != 10 {
+		t.Fatalf("p50 = %v, want 10", s.Quantile(0.5))
+	}
+	// Adding after a quantile query must invalidate the sorted cache.
+	s.Add(1)
+	s.Add(2)
+	if got := s.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 after adds = %v, want 2", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("p100 after adds = %v, want 10", got)
+	}
+	// Quantile queries must not reorder the raw observation log.
+	if v := s.Values(); v[0] != 10 || v[1] != 1 || v[2] != 2 {
+		t.Fatalf("Values reordered: %v", v)
+	}
+}
+
 func TestRelativeDifference(t *testing.T) {
 	if RelativeDifference(0, 0) != 0 {
 		t.Fatal("0,0 should be 0")

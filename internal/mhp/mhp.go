@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/classical"
 	"repro/internal/nv"
+	"repro/internal/obs"
 	"repro/internal/photonics"
 	"repro/internal/quantum"
 	"repro/internal/sim"
@@ -180,6 +181,11 @@ type Node struct {
 	attemptCount uint64
 	localFails   uint64
 
+	// Flight-recorder hooks; all nil-safe, nil when observability is off.
+	trace   *obs.Ring
+	traceID uint64
+	metrics *obs.MHPMetrics
+
 	// CommBusy tracks whether the communication qubit is mid-attempt for a
 	// K request (the EGP uses this to avoid double-triggering).
 	awaitingReply bool
@@ -196,6 +202,13 @@ type NodeConfig struct {
 	ToMidpoint *classical.Channel
 	CycleTimeK sim.Duration
 	CycleTimeM sim.Duration
+
+	// Trace, when non-nil, records attempt/REPLY lifecycle events under
+	// track TraceID (the link ID); Metrics publishes attempt counters. Both
+	// are nil-safe and nil by default.
+	Trace   *obs.Ring
+	TraceID uint64
+	Metrics *obs.MHPMetrics
 }
 
 // NewNode builds a node-side MHP instance.
@@ -214,6 +227,9 @@ func NewNode(cfg NodeConfig) *Node {
 		cycleTimeK: cfg.CycleTimeK,
 		cycleTimeM: cfg.CycleTimeM,
 		pending:    make(map[uint64]PollDecision),
+		trace:      cfg.Trace,
+		traceID:    cfg.TraceID,
+		metrics:    cfg.Metrics,
 	}
 }
 
@@ -272,6 +288,14 @@ func (n *Node) runCycle() {
 		return
 	}
 	n.attemptCount++
+	keep := int64(0)
+	if decision.Keep {
+		keep = 1
+	}
+	n.trace.Record(n.simul.Now(), obs.KindMHPAttempt, n.traceID, int64(n.cycle), keep)
+	if n.metrics != nil {
+		n.metrics.Attempts.Inc()
+	}
 	// Triggering an attempt dephases carbon-stored pairs at this node
 	// (Appendix D.4.1).
 	n.device.ApplyAttemptDephasing(decision.Alpha)
@@ -296,6 +320,7 @@ func (n *Node) HandleReply(msg classical.Message) {
 	if err != nil {
 		return
 	}
+	n.trace.Record(n.simul.Now(), obs.KindMHPReply, n.traceID, int64(reply.Outcome), int64(reply.MHPSeq))
 	// Match the reply to the pending attempt by the echoed queue ID; the
 	// cycle association is recovered from the pending map (oldest first).
 	var cycle uint64
@@ -373,6 +398,11 @@ type Midpoint struct {
 	timeMismatch  uint64
 	queueMismatch uint64
 	noOther       uint64
+
+	// Flight-recorder hooks; all nil-safe, nil when observability is off.
+	trace   *obs.Ring
+	traceID uint64
+	metrics *obs.MHPMetrics
 }
 
 // MidpointConfig collects the construction parameters of a Midpoint.
@@ -387,6 +417,12 @@ type MidpointConfig struct {
 	// it defaults to 500 µs which covers the QL2020 arm asymmetry with ample
 	// margin.
 	HoldTime sim.Duration
+
+	// Trace, when non-nil, records heralding decisions under track TraceID
+	// (the link ID); Metrics publishes match/success counters.
+	Trace   *obs.Ring
+	TraceID uint64
+	Metrics *obs.MHPMetrics
 }
 
 // NewMidpoint builds the heralding-station service.
@@ -411,6 +447,9 @@ func NewMidpoint(cfg MidpointConfig) *Midpoint {
 		windowCycles: w,
 		holdTime:     hold,
 		waiting:      map[string]map[uint64]genPayload{"A": {}, "B": {}},
+		trace:        cfg.Trace,
+		traceID:      cfg.TraceID,
+		metrics:      cfg.Metrics,
 	}
 }
 
@@ -452,9 +491,11 @@ func (m *Midpoint) HandleGEN(msg classical.Message) {
 				delete(m.waiting[payload.node], payload.cycle)
 				if len(m.waiting[other]) > 0 {
 					m.timeMismatch++
+					m.trace.Record(m.simul.Now(), obs.KindHeraldDrop, m.traceID, 0, int64(payload.cycle))
 					m.sendError(payload.node, genSelf.QueueID, wire.ErrTimeMismatch)
 				} else {
 					m.noOther++
+					m.trace.Record(m.simul.Now(), obs.KindHeraldDrop, m.traceID, 1, int64(payload.cycle))
 					m.sendError(payload.node, genSelf.QueueID, wire.ErrNoMessageOther)
 				}
 			}
@@ -469,10 +510,14 @@ func (m *Midpoint) HandleGEN(msg classical.Message) {
 	// Queue-ID consistency check.
 	if genSelf.QueueID != genPeer.QueueID {
 		m.queueMismatch++
+		m.trace.Record(m.simul.Now(), obs.KindHeraldDrop, m.traceID, 2, int64(payload.cycle))
 		m.sendErrorBoth(payload, peer, wire.ErrQueueMismatch, genSelf.QueueID, genPeer.QueueID)
 		return
 	}
 	m.matched++
+	if m.metrics != nil {
+		m.metrics.Matched.Inc()
+	}
 
 	// Perform the optical Bell-state measurement. By convention A is the
 	// first argument.
@@ -500,7 +545,11 @@ func (m *Midpoint) HandleGEN(msg classical.Message) {
 		}
 		pair := nv.NewEntangledPair(res.State, heralded, m.simul.Now())
 		m.registry.Put(seq, pair)
+		if m.metrics != nil {
+			m.metrics.Successes.Inc()
+		}
 	}
+	m.trace.Record(m.simul.Now(), obs.KindHerald, m.traceID, int64(outcome), int64(seq))
 
 	// Send REPLY to both nodes, echoing each node's own queue ID first.
 	m.sendReply("A", outcome, seq, genQueueForNode("A", payload, peer, genSelf, genPeer), genQueueForNode("B", payload, peer, genSelf, genPeer))

@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mhp"
 	"repro/internal/nv"
+	"repro/internal/obs"
 	"repro/internal/photonics"
 	"repro/internal/quantum"
 	"repro/internal/sim"
@@ -71,6 +72,16 @@ type Config struct {
 	// stream and schedules on the shard owning it, so the per-link
 	// trajectories do not depend on the partitioning.
 	Shards int
+	// Trace, when non-nil, is the run's flight recorder: the engine records
+	// dispatch batches and barrier windows into per-shard rings and every
+	// link's protocol stack records its lifecycle into the rings of the
+	// shard owning it. It must have at least max(1, Shards) shards. Nil (the
+	// default) disables recording at zero cost beyond one nil check per
+	// instrumentation point, leaving the trajectory byte-identical.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives per-layer counters and per-class
+	// time-to-pair histograms. Nil disables publication the same way.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the options used by the network-layer experiments:
@@ -126,6 +137,10 @@ type Link struct {
 
 	// Submitted/OKs/Errs count protocol events across both endpoints.
 	Submitted, OKs, Errs uint64
+
+	// traceNet is the link's netsim-layer flight-recorder ring (nil when
+	// tracing is off); the EGP/MHP rings are handed to those layers directly.
+	traceNet *obs.Ring
 
 	nodeNameA, nodeNameB string
 	stopA, stopB         func()
@@ -242,6 +257,14 @@ type Network struct {
 
 	traffic *Traffic
 	started bool
+
+	// Shared observability handles, all nil when Config.Trace/Metrics are
+	// nil: per-layer metric bundles and link-level time-to-pair histograms.
+	egpMetrics *obs.EGPMetrics
+	mhpMetrics *obs.MHPMetrics
+	ttp        *obs.ClassHistograms
+	cSubmitted *obs.Counter
+	cLinkOKs   *obs.Counter
 }
 
 // NetworkLayerTag is the mux tag reserved for network-layer frames riding the
@@ -297,6 +320,18 @@ func NewNetwork(cfg Config) (*Network, error) {
 		netChannels:  make(map[Edge]*classical.Duplex),
 		linksByEdge:  make(map[Edge]*Link),
 	}
+	if cfg.Trace != nil {
+		if err := nw.wireTracer(cfg.Trace); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Metrics != nil {
+		nw.egpMetrics = obs.NewEGPMetrics(cfg.Metrics)
+		nw.mhpMetrics = obs.NewMHPMetrics(cfg.Metrics)
+		nw.ttp = obs.NewClassHistograms(cfg.Metrics, "link.ttp_ns")
+		nw.cSubmitted = cfg.Metrics.Counter("netsim.submitted")
+		nw.cLinkOKs = cfg.Metrics.Counter("netsim.oks")
+	}
 
 	for i := 0; i < cfg.Spec.Nodes; i++ {
 		nw.Nodes = append(nw.Nodes, &Node{
@@ -310,6 +345,41 @@ func NewNetwork(cfg Config) (*Network, error) {
 		nw.buildLink(LinkID(i), e)
 	}
 	return nw, nil
+}
+
+// wireTracer installs the engine-level flight-recorder hooks: one dispatch
+// batch observer per shard (recording into that shard's own sim-layer ring,
+// so shard goroutines never share a buffer) and, on the sharded engine, one
+// barrier-window observer recording merged message counts and window spans.
+func (nw *Network) wireTracer(t *obs.Tracer) error {
+	need := 1
+	if nw.sharded != nil {
+		need = nw.sharded.Shards()
+	}
+	if t.Shards() < need {
+		return fmt.Errorf("netsim: tracer has %d shard ring(s), network needs %d", t.Shards(), need)
+	}
+	if nw.sharded == nil {
+		ring := t.Ring(0, obs.LayerSim)
+		nw.Sim.(*sim.Simulator).SetBatchObserver(func(at sim.Time, batchLen, pending int) {
+			ring.Record(at, obs.KindBatch, 0, int64(batchLen), int64(pending))
+		})
+		return nil
+	}
+	for i := 0; i < nw.sharded.Shards(); i++ {
+		ring := t.Ring(i, obs.LayerSim)
+		track := uint64(i)
+		nw.sharded.Shard(i).SetBatchObserver(func(at sim.Time, batchLen, pending int) {
+			ring.Record(at, obs.KindBatch, track, int64(batchLen), int64(pending))
+		})
+	}
+	// The window observer runs on the coordinating goroutine while shards
+	// are parked, so sharing shard 0's sim-layer ring is race-free.
+	winRing := t.Ring(0, obs.LayerSim)
+	nw.sharded.SetWindowObserver(func(start, end sim.Time, merged int) {
+		winRing.Record(end, obs.KindWindow, obs.BarrierTrack, int64(merged), int64(end.Sub(start)))
+	})
+	return nil
 }
 
 // pairDuplex returns (building on first use) the shared classical duplex
@@ -391,6 +461,15 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 	}
 	l.Eng = sim.WithRNG(base, sim.NewRNG(sim.DeriveSeed(cfg.Seed, 0x11c4, uint64(id))))
 	s := l.Eng
+	// All of a link's protocol records land in the rings of its owning
+	// shard, under the stable link ID as track — which is what keeps the
+	// merged trace identical at every shard count.
+	var ringEGP, ringMHP *obs.Ring
+	if cfg.Trace != nil {
+		ringEGP = cfg.Trace.Ring(l.Shard, obs.LayerEGP)
+		ringMHP = cfg.Trace.Ring(l.Shard, obs.LayerMHP)
+		l.traceNet = cfg.Trace.Ring(l.Shard, obs.LayerNetsim)
+	}
 	l.DeviceA = nv.NewDevice(fmt.Sprintf("%s/%s", nodeA.Name, l.Name), platform.Gates, platform.CarbonCoupling, platform.MemoryQubits)
 	l.DeviceB = nv.NewDevice(fmt.Sprintf("%s/%s", nodeB.Name, l.Name), platform.Gates, platform.CarbonCoupling, platform.MemoryQubits)
 
@@ -427,6 +506,9 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 			MaxQueueLen:          cfg.MaxQueueLen,
 			EmissionMultiplexing: cfg.EmissionMultiplexing,
 			AutoRelease:          !cfg.HoldPairs,
+			Trace:                ringEGP,
+			TraceID:              uint64(id),
+			Metrics:              nw.egpMetrics,
 		})
 	}
 	idA, idB := uint32(e.A+1), uint32(e.B+1)
@@ -442,17 +524,20 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 		Registry: l.Registry, Side: nv.SideA, ToMidpoint: chanAtoH,
 		CycleTimeK: platform.CycleTime[nv.RequestKeep],
 		CycleTimeM: platform.CycleTime[nv.RequestMeasure],
+		Trace:      ringMHP, TraceID: uint64(id), Metrics: nw.mhpMetrics,
 	})
 	l.MHPB = mhp.NewNode(mhp.NodeConfig{
 		Name: roleB, Sim: s, Generator: l.EGPB, Device: l.DeviceB,
 		Registry: l.Registry, Side: nv.SideB, ToMidpoint: chanBtoH,
 		CycleTimeK: platform.CycleTime[nv.RequestKeep],
 		CycleTimeM: platform.CycleTime[nv.RequestMeasure],
+		Trace:      ringMHP, TraceID: uint64(id), Metrics: nw.mhpMetrics,
 	})
 	l.Mid = mhp.NewMidpoint(mhp.MidpointConfig{
 		Sim: s, Sampler: l.Sampler, Registry: l.Registry,
 		ToA: chanHtoA, ToB: chanHtoB, WindowCycles: 1,
 		HoldTime: 2*(platform.CommDelayAH+platform.CommDelayBH) + 200*sim.Microsecond,
+		Trace:    ringMHP, TraceID: uint64(id), Metrics: nw.mhpMetrics,
 	})
 
 	nodeA.register(l, l.EGPA)
@@ -529,7 +614,9 @@ func (nw *Network) Start() {
 		// sharded run a different event census than the serial one).
 		link := l
 		l.stopSample = sim.Ticker(l.Eng, nw.Config.QueueSamplePeriod, func() {
-			link.Collector.SampleQueueLength(link.EGPA.Queue().TotalLen())
+			depth := link.EGPA.Queue().TotalLen()
+			link.Collector.SampleQueueLength(depth)
+			link.traceNet.Record(link.Eng.Now(), obs.KindQueueDepth, uint64(link.ID), int64(depth), 0)
 		})
 	}
 	if nw.traffic != nil {
@@ -574,6 +661,8 @@ func (nw *Network) Submit(l *Link, role string, req egp.CreateRequest) (uint16, 
 	id, code := e.Create(req)
 	if code == wire.ErrNone {
 		l.Submitted++
+		l.traceNet.Record(l.Eng.Now(), obs.KindSubmit, uint64(l.ID), int64(id), int64(req.NumPairs))
+		nw.cSubmitted.Inc()
 		// The link's own clock, not the network engine's: under sharding a
 		// submission fires on the owning shard's loop, where the engine-wide
 		// clock is a stale barrier time.
@@ -592,6 +681,9 @@ func (nw *Network) handleOK(l *Link, ev egp.OKEvent) {
 	if !ev.OriginIsLocal {
 		return
 	}
+	l.traceNet.Record(ev.At, obs.KindLinkOK, uint64(l.ID), int64(ev.CreateID), int64(ev.PairsRemaining))
+	nw.cLinkOKs.Inc()
+	nw.ttp.Observe(ev.Priority, ev.At.Sub(ev.CreateTime))
 	key := requestKey(ev.Node, ev.CreateID)
 	l.Collector.PairDelivered(key, ev.Priority, l.nodeName(ev.Node), ev.Fidelity, ev.At)
 	if ev.RequestDone {

@@ -38,6 +38,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nv"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -112,6 +113,15 @@ type Config struct {
 	TwirlLinkPairs bool
 	// LinkPriority is the egp priority lane of the per-hop CREATEs.
 	LinkPriority int
+	// Trace, when non-nil, records end-to-end request lifecycles —
+	// CREATE, per-segment readiness, swaps, Pauli corrections, delivered
+	// pairs and the final OK/TIMEOUT — as spans in the flight recorder's
+	// network-layer ring (track = request ID). Usually the same tracer as
+	// netsim.Config.Trace. Nil disables recording at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, publishes end-to-end counters and per-class
+	// time-to-pair histograms ("e2e.ttp_ns.<class>").
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the policies used by the end-to-end experiments:
@@ -140,10 +150,14 @@ type requestState struct {
 	pairsLeft   int
 	segs        []*segment
 	submittedAt sim.Time
-	timeout     sim.EventID
-	hasTimeout  bool
-	done        bool
-	failed      bool
+	// lastPairAt is when the previous pair was delivered (submission time
+	// until the first delivery); it feeds the per-pair production-time
+	// (time-to-pair) series.
+	lastPairAt sim.Time
+	timeout    sim.EventID
+	hasTimeout bool
+	done       bool
+	failed     bool
 	// hopOKCount counts down the link-layer OKs still expected per hop
 	// CREATE (two per pair, one from each endpoint); a hop whose CREATE has
 	// delivered them all retires its hopOwner entry, and once the request is
@@ -179,6 +193,14 @@ type Service struct {
 
 	swaps      uint64
 	framesSent uint64
+
+	// Flight-recorder ring and metric handles; all nil when observability is
+	// off (every use is nil-safe).
+	trace    *obs.Ring
+	ttp      *obs.ClassHistograms
+	cOKs     *obs.Counter
+	cFails   *obs.Counter
+	cSwapCnt *obs.Counter
 
 	// OnOK and OnError observe deliveries and failures.
 	OnOK    func(OKEvent)
@@ -221,6 +243,15 @@ func NewService(nw *netsim.Network, cfg Config) (*Service, error) {
 	}
 	for i := range s.nodeSegs {
 		s.nodeSegs[i] = make(map[RequestID][]*segment)
+	}
+	// The service only runs on the serial engine (checked above), so all its
+	// records go to shard 0's network-layer ring.
+	s.trace = cfg.Trace.Ring(0, obs.LayerNetwork)
+	if cfg.Metrics != nil {
+		s.ttp = obs.NewClassHistograms(cfg.Metrics, "e2e.ttp_ns")
+		s.cOKs = cfg.Metrics.Counter("e2e.oks")
+		s.cFails = cfg.Metrics.Counter("e2e.fails")
+		s.cSwapCnt = cfg.Metrics.Counter("e2e.swaps")
 	}
 	nw.OnLinkOK = s.handleLinkOK
 	nw.OnLinkError = s.handleLinkError
@@ -296,12 +327,14 @@ func (s *Service) Create(req CreateRequest) (RequestID, wire.EGPError) {
 		linkFloor:   linkFloor,
 		pairsLeft:   req.NumPairs,
 		submittedAt: now,
+		lastPairAt:  now,
 		hopOKCount:  make(map[hopKey]int, path.Hops()),
 	}
 	for i, n := range path.Nodes {
 		r.pos[n] = i
 	}
 	s.requests[id] = r
+	s.trace.Record(now, obs.KindE2ECreate, uint64(id), int64(req.SrcNode), int64(req.DstNode))
 	s.collector.RequestSubmitted(uint64(id), req.Priority, fmt.Sprintf("n%d", req.SrcNode), req.NumPairs, now)
 	s.pathAggFor(r).requests++
 
@@ -383,6 +416,8 @@ func (s *Service) failRequest(r *requestState, code wire.EGPError) {
 		delete(s.nodeSegs[n], r.id)
 	}
 	s.pathAggFor(r).failed++
+	s.trace.Record(s.nw.Sim.Now(), obs.KindE2EFail, uint64(r.id), int64(r.req.NumPairs-r.pairsLeft), int64(code))
+	s.cFails.Inc()
 	s.emitError(r.id, r.req, code, s.nw.Sim.Now())
 	s.maybeForget(r)
 }
@@ -425,6 +460,9 @@ func (s *Service) deliver(sg *segment) {
 		r.pairsLeft--
 	}
 	done := r.pairsLeft == 0
+	s.trace.Record(now, obs.KindE2EOK, uint64(r.id), int64(r.req.NumPairs-r.pairsLeft), int64(r.req.NumPairs))
+	s.cOKs.Inc()
+	s.ttp.Observe(r.req.Priority, now.Sub(r.submittedAt))
 	s.collector.PairDelivered(uint64(r.id), r.req.Priority, fmt.Sprintf("n%d", r.req.SrcNode), fid, now)
 	agg := s.pathAggFor(r)
 	agg.pairs++
@@ -432,11 +470,14 @@ func (s *Service) deliver(sg *segment) {
 	agg.predicted.Add(sg.predicted)
 	agg.swapLatency.Add(now.Sub(sg.linkReadyAt).Seconds())
 	agg.pairLatency.Add(now.Sub(r.submittedAt).Seconds())
+	agg.ttp.Add(now.Sub(r.lastPairAt).Seconds())
+	r.lastPairAt = now
 	if done {
 		r.done = true
 		if r.hasTimeout {
 			r.timeout.Cancel()
 		}
+		s.trace.Record(now, obs.KindE2EDone, uint64(r.id), int64(r.req.NumPairs), 0)
 		s.collector.RequestCompleted(uint64(r.id), now)
 		agg.completed++
 		for _, n := range r.path.Nodes {

@@ -18,6 +18,7 @@ type pathAgg struct {
 	predicted   metrics.Series
 	swapLatency metrics.Series
 	pairLatency metrics.Series
+	ttp         metrics.Series
 }
 
 // aggFor returns (creating on first use) the aggregate bucket of a path,
@@ -53,6 +54,11 @@ type PathStats struct {
 	SwapP50, SwapP90, SwapP99 float64
 	// End-to-end per-pair latency percentiles: delivery minus submission.
 	E2EP50, E2EP99 float64
+	// Time-to-pair p99: the per-pair production time (delivery minus the
+	// previous delivery of the same request; the first pair counts from
+	// submission), in seconds. Unlike E2EP99 it does not accumulate across
+	// a request's earlier pairs, so it is the per-class SLO signal.
+	TTPP99 float64
 }
 
 // statsFrom summarises one aggregate bucket over the given interval.
@@ -72,6 +78,7 @@ func statsFrom(agg *pathAgg, seconds float64) PathStats {
 		SwapP99:   agg.swapLatency.Percentile(99),
 		E2EP50:    agg.pairLatency.Percentile(50),
 		E2EP99:    agg.pairLatency.Percentile(99),
+		TTPP99:    agg.ttp.Quantile(0.99),
 	}
 }
 
@@ -80,7 +87,7 @@ func statsFrom(agg *pathAgg, seconds float64) PathStats {
 // observations (not averages of per-path percentiles).
 func (s *Service) Stats() (perPath []PathStats, aggregate PathStats) {
 	seconds := s.collector.DurationSeconds()
-	var fid, pred, swapLat, e2eLat metrics.Series
+	var fid, pred, swapLat, e2eLat, ttp metrics.Series
 	maxHops := 0
 	for _, key := range s.aggOrder {
 		agg := s.aggs[key]
@@ -104,6 +111,9 @@ func (s *Service) Stats() (perPath []PathStats, aggregate PathStats) {
 		for _, v := range agg.pairLatency.Values() {
 			e2eLat.Add(v)
 		}
+		for _, v := range agg.ttp.Values() {
+			ttp.Add(v)
+		}
 	}
 	aggregate.Path = "aggregate"
 	aggregate.Hops = maxHops
@@ -115,6 +125,7 @@ func (s *Service) Stats() (perPath []PathStats, aggregate PathStats) {
 	aggregate.SwapP99 = swapLat.Percentile(99)
 	aggregate.E2EP50 = e2eLat.Percentile(50)
 	aggregate.E2EP99 = e2eLat.Percentile(99)
+	aggregate.TTPP99 = ttp.Quantile(0.99)
 	return perPath, aggregate
 }
 
@@ -151,6 +162,7 @@ func MeanPathStats(rows []PathStats) PathStats {
 			out.SwapP99 += r.SwapP99
 			out.E2EP50 += r.E2EP50
 			out.E2EP99 += r.E2EP99
+			out.TTPP99 += r.TTPP99
 			latTrials++
 		}
 	}
@@ -164,6 +176,7 @@ func MeanPathStats(rows []PathStats) PathStats {
 		out.SwapP99 /= latTrials
 		out.E2EP50 /= latTrials
 		out.E2EP99 /= latTrials
+		out.TTPP99 /= latTrials
 	}
 	out.Requests = uint64(math.Round(requests / n))
 	out.Completed = uint64(math.Round(completed / n))

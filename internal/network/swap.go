@@ -5,6 +5,7 @@ import (
 	"repro/internal/egp"
 	"repro/internal/netsim"
 	"repro/internal/nv"
+	"repro/internal/obs"
 	"repro/internal/quantum"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -198,6 +199,7 @@ func (s *Service) activateLinkSegment(sg *segment) {
 	}
 	sg.linkReadyAt = now
 	sg.corrected = true // link pairs are delivered in the |Ψ+⟩ frame
+	s.trace.Record(now, obs.KindE2ESegment, uint64(sg.req.id), int64(sg.a), int64(sg.b))
 	s.placeSegment(sg)
 }
 
@@ -286,6 +288,8 @@ func (s *Service) performSwap(n int, segL, segR *segment) {
 	_ = segR.devB.Rebind(segR.pair, newPair, nv.SideB)
 	segL.consumed, segR.consumed = true, true
 	s.swaps++
+	s.trace.Record(now, obs.KindE2ESwap, uint64(segL.req.id), int64(n), int64(label))
+	s.cSwapCnt.Inc()
 
 	r := segL.req
 	sg := &segment{
@@ -403,6 +407,7 @@ func (s *Service) handleFrame(node int, msg classical.Message) {
 	} else {
 		if !sg.corrected {
 			sg.corrected = true
+			s.trace.Record(s.nw.Sim.Now(), obs.KindE2ECorrection, uint64(r.id), int64(node), int64(f.Label))
 			// Advance decoherence to the correction moment first — Pauli
 			// rotations do not commute with amplitude damping.
 			sg.devB.ApplyDecoherence(sg.pair, sg.sideB, s.nw.Sim.Now())

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestDisabledPathsAllocFree pins the zero-cost-when-off guarantee: nil
+// rings, counters, gauges and histograms must not allocate.
+func TestDisabledPathsAllocFree(t *testing.T) {
+	var (
+		ring *Ring
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+		ch   *ClassHistograms
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ring.Record(1, KindEGPOK, 3, 4, 5)
+		c.Inc()
+		c.Add(2)
+		g.Set(9)
+		h.Observe(123)
+		ch.Observe(1, 456)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestEnabledRecordAllocFree pins the enabled flight-recorder record path at
+// 0 allocs in steady state (buffers are allocated at wiring time).
+func TestEnabledRecordAllocFree(t *testing.T) {
+	tr := NewTracer(2, 1024)
+	ring := tr.Ring(0, LayerMHP)
+	var at sim.Time
+	allocs := testing.AllocsPerRun(10000, func() {
+		ring.Record(at, KindMHPAttempt, 17, 42, 1)
+		at++
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled ring record allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestEnabledMetricsAllocFree pins Counter.Inc and Histogram.Observe at 0
+// allocs once the handles exist.
+func TestEnabledMetricsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	ch := NewClassHistograms(r, "ttp")
+	v := int64(1)
+	allocs := testing.AllocsPerRun(10000, func() {
+		c.Inc()
+		g.Set(v)
+		h.Observe(v)
+		ch.Observe(int(v)%3, sim.Duration(v))
+		v++
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled metrics allocated %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// trackLabel names one track ("thread") for the trace metadata: sim-layer
+// tracks are engine shards, link-layer tracks are links, and network-layer
+// tracks are end-to-end requests.
+func trackLabel(layer Layer, track uint64) string {
+	switch layer {
+	case LayerSim:
+		if track == BarrierTrack {
+			return "barrier"
+		}
+		return fmt.Sprintf("shard %d", track)
+	case LayerNetwork:
+		return fmt.Sprintf("request %d", track)
+	default:
+		return fmt.Sprintf("link %d", track)
+	}
+}
+
+// writeTS renders a sim timestamp as Chrome trace microseconds with
+// nanosecond precision, using pure integer math so output is deterministic
+// across platforms.
+func writeTS(w *bufio.Writer, at sim.Time) {
+	ns := int64(at)
+	fmt.Fprintf(w, "%d.%03d", ns/1000, ns%1000)
+}
+
+// WriteChrome exports the merged trace as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Each layer becomes a
+// process, each track (shard, link or request) a named thread; batch sizes
+// and queue depths render as counter series, protocol events as thread
+// instants, and end-to-end request lifecycles as async duration spans keyed
+// by request ID.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+
+	records := t.Records()
+
+	// Metadata first: name each process (layer) and thread (track) once, in
+	// deterministic merged order.
+	type key struct {
+		layer Layer
+		track uint64
+	}
+	seenLayer := map[Layer]bool{}
+	seenTrack := map[key]bool{}
+	first := true
+	emit := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	for _, r := range records {
+		if !seenLayer[r.Layer] {
+			seenLayer[r.Layer] = true
+			emit()
+			fmt.Fprintf(bw, "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}",
+				int(r.Layer)+1, r.Layer)
+		}
+		k := key{r.Layer, r.Track}
+		if !seenTrack[k] {
+			seenTrack[k] = true
+			emit()
+			fmt.Fprintf(bw, "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+				int(r.Layer)+1, r.Track+1, trackLabel(r.Layer, r.Track))
+		}
+	}
+
+	for i := range records {
+		r := &records[i]
+		emit()
+		pid, tid := int(r.Layer)+1, r.Track+1
+		switch r.Kind {
+		case KindBatch:
+			fmt.Fprintf(bw, "{\"ph\":\"C\",\"name\":\"batch\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":", r.Layer, pid, tid)
+			writeTS(bw, r.At)
+			fmt.Fprintf(bw, ",\"args\":{\"batch\":%d,\"pending\":%d}}", r.A, r.B)
+		case KindQueueDepth:
+			fmt.Fprintf(bw, "{\"ph\":\"C\",\"name\":\"queue_depth\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":", r.Layer, pid, tid)
+			writeTS(bw, r.At)
+			fmt.Fprintf(bw, ",\"args\":{\"depth\":%d}}", r.A)
+		case KindWindow:
+			fmt.Fprintf(bw, "{\"ph\":\"C\",\"name\":\"window\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":", r.Layer, pid, tid)
+			writeTS(bw, r.At)
+			fmt.Fprintf(bw, ",\"args\":{\"merged\":%d,\"span_ns\":%d}}", r.A, r.B)
+		case KindE2ECreate:
+			fmt.Fprintf(bw, "{\"ph\":\"b\",\"name\":\"request\",\"cat\":\"%s\",\"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":", r.Layer, r.Track, pid, tid)
+			writeTS(bw, r.At)
+			fmt.Fprintf(bw, ",\"args\":{\"src\":%d,\"dst\":%d}}", r.A, r.B)
+		case KindE2ESegment, KindE2ESwap, KindE2ECorrection, KindE2EOK:
+			fmt.Fprintf(bw, "{\"ph\":\"n\",\"name\":\"%s\",\"cat\":\"%s\",\"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":", r.Kind, r.Layer, r.Track, pid, tid)
+			writeTS(bw, r.At)
+			fmt.Fprintf(bw, ",\"args\":{\"a\":%d,\"b\":%d}}", r.A, r.B)
+		case KindE2EDone, KindE2EFail:
+			fmt.Fprintf(bw, "{\"ph\":\"e\",\"name\":\"request\",\"cat\":\"%s\",\"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":", r.Layer, r.Track, pid, tid)
+			writeTS(bw, r.At)
+			fmt.Fprintf(bw, ",\"args\":{\"outcome\":\"%s\",\"a\":%d,\"b\":%d}}", r.Kind, r.A, r.B)
+		default:
+			fmt.Fprintf(bw, "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":", r.Kind, r.Layer, pid, tid)
+			writeTS(bw, r.At)
+			fmt.Fprintf(bw, ",\"args\":{\"a\":%d,\"b\":%d}}", r.A, r.B)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/sim"
+)
+
+// HistogramStats is one histogram's snapshot: observation count, value sum,
+// and nearest-rank quantiles at the bucket lower bound. Sim-time histograms
+// are nanosecond-valued, so quantiles divide by 1e9 for seconds.
+type HistogramStats struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a registry, serialisable as JSON
+// (map keys sort, so output is deterministic) or a text table.
+type Snapshot struct {
+	SimSeconds float64                   `json:"sim_seconds"`
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values. now stamps the snapshot
+// with the sim clock so rates can be derived offline.
+func (r *Registry) Snapshot(now sim.Time) Snapshot {
+	snap := Snapshot{SimSeconds: now.Seconds()}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramStats, len(r.histograms))
+		for name, h := range r.histograms {
+			st := HistogramStats{
+				Count: h.Count(),
+				Sum:   h.Sum(),
+				P50:   h.Quantile(0.50),
+				P90:   h.Quantile(0.90),
+				P99:   h.Quantile(0.99),
+			}
+			if st.Count > 0 {
+				st.Mean = float64(st.Sum) / float64(st.Count)
+			}
+			snap.Histograms[name] = st
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON with sorted keys.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteTable writes the snapshot as an aligned text table, one metric per
+// row in sorted-name order.
+func (s Snapshot) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# metrics snapshot at t=%.6fs\n", s.SimSeconds)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(tw, "%s\t%d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(tw, "%s\t%d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp90\tp99")
+		for _, name := range sortedKeys(s.Histograms) {
+			st := s.Histograms[name]
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%d\t%d\n", name, st.Count, st.Mean, st.P50, st.P90, st.P99)
+		}
+	}
+	return tw.Flush()
+}
+
+// EGPMetrics bundles the link layer's counters so the EGP hot path holds
+// direct handles instead of doing registry lookups. All fields may be nil.
+type EGPMetrics struct {
+	OKs     *Counter
+	Errors  *Counter
+	Expires *Counter
+}
+
+// NewEGPMetrics registers the EGP counter family. Nil-safe: a nil registry
+// yields a bundle of nil handles (all no-ops).
+func NewEGPMetrics(r *Registry) *EGPMetrics {
+	return &EGPMetrics{
+		OKs:     r.Counter("egp.oks"),
+		Errors:  r.Counter("egp.errors"),
+		Expires: r.Counter("egp.expires"),
+	}
+}
+
+// MHPMetrics bundles the physical layer's counters.
+type MHPMetrics struct {
+	Attempts  *Counter
+	Matched   *Counter
+	Successes *Counter
+}
+
+// NewMHPMetrics registers the MHP counter family.
+func NewMHPMetrics(r *Registry) *MHPMetrics {
+	return &MHPMetrics{
+		Attempts:  r.Counter("mhp.attempts"),
+		Matched:   r.Counter("mhp.matched"),
+		Successes: r.Counter("mhp.successes"),
+	}
+}
+
+// classNames maps EGP priority classes to metric name suffixes
+// (0 = network/NL, 1 = create-and-keep/CK, 2 = measure-directly/MD).
+var classNames = [3]string{"nl", "ck", "md"}
+
+// ClassHistograms is a per-request-class family of nanosecond-valued
+// time-to-pair histograms, indexed by EGP priority.
+type ClassHistograms struct {
+	h [3]*Histogram
+}
+
+// NewClassHistograms registers one histogram per request class under
+// prefix.<class> (e.g. "link.ttp_ns.md").
+func NewClassHistograms(r *Registry, prefix string) *ClassHistograms {
+	ch := &ClassHistograms{}
+	for i, name := range classNames {
+		ch.h[i] = r.Histogram(prefix + "." + name)
+	}
+	return ch
+}
+
+// Observe records a duration for one class. Out-of-range classes and nil
+// receivers are no-ops.
+func (ch *ClassHistograms) Observe(class int, d sim.Duration) {
+	if ch == nil || class < 0 || class >= len(ch.h) {
+		return
+	}
+	ch.h[class].Observe(int64(d))
+}
+
+// Class returns the histogram of one class (nil when out of range).
+func (ch *ClassHistograms) Class(class int) *Histogram {
+	if ch == nil || class < 0 || class >= len(ch.h) {
+		return nil
+	}
+	return ch.h[class]
+}

@@ -48,9 +48,17 @@ type ShardedEngine struct {
 	stopReq atomic.Bool
 
 	// scratch is the reusable merge buffer; merged counts messages moved
-	// across shards over the engine's lifetime.
+	// across shards over the engine's lifetime and windows counts completed
+	// barrier windows. Both are atomics so observers running on shard
+	// goroutines (tracing hooks, progress displays) can read them mid-run.
 	scratch []mergedMsg
-	merged  uint64
+	merged  atomic.Uint64
+	windows atomic.Uint64
+
+	// windowObs, when set, observes every completed barrier window. It runs
+	// on the coordinating goroutine after the shards have parked, so it may
+	// read shard state but must not schedule events or draw randomness.
+	windowObs func(start, end Time, merged int)
 }
 
 // noLookahead marks "no cross-shard engines registered": windows are
@@ -94,7 +102,21 @@ func (e *ShardedEngine) Shard(i int) *Simulator { return e.shards[i] }
 func (e *ShardedEngine) Lookahead() Duration { return e.lookahead }
 
 // Merged reports how many cross-shard messages have been merged at barriers.
-func (e *ShardedEngine) Merged() uint64 { return e.merged }
+// Safe to call mid-run from any goroutine (e.g. a shard-side tracing hook):
+// the count is published atomically at each barrier.
+func (e *ShardedEngine) Merged() uint64 { return e.merged.Load() }
+
+// Windows reports how many barrier windows have completed. Like Merged it is
+// queryable mid-run from any goroutine.
+func (e *ShardedEngine) Windows() uint64 { return e.windows.Load() }
+
+// SetWindowObserver installs fn to be called at every barrier with the
+// window's start and end times and the number of cross-shard messages merged
+// at that barrier. It runs on the coordinating goroutine while all shards
+// are parked, so it may read shard state, but it must not schedule events or
+// draw randomness (flight-recorder tracing only). A nil fn (the default)
+// restores the zero-cost path. Must be set before Run.
+func (e *ShardedEngine) SetWindowObserver(fn func(start, end Time, merged int)) { e.windowObs = fn }
 
 // Cross registers a cross-shard edge from shard src to shard dst and returns
 // the restricted Engine entities must use to talk across it. The returned
@@ -203,6 +225,7 @@ func (e *ShardedEngine) nextEventTime() (Time, bool) {
 // window advances every shard to horizon w in parallel, then merges the
 // cross-shard outboxes at the barrier and publishes w as the engine clock.
 func (e *ShardedEngine) window(w Time) error {
+	start := e.now
 	errs := make([]error, len(e.shards))
 	if len(e.shards) == 1 {
 		errs[0] = e.shards[0].RunUntil(w)
@@ -218,7 +241,11 @@ func (e *ShardedEngine) window(w Time) error {
 		wg.Wait()
 	}
 	e.now = w
-	e.mergeOutboxes()
+	merged := e.mergeOutboxes()
+	e.windows.Add(1)
+	if e.windowObs != nil {
+		e.windowObs(start, w, merged)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -241,11 +268,11 @@ type mergedMsg struct {
 }
 
 // mergeOutboxes drains every cross edge's outbox into the destination shards
-// in (timestamp, edge key, send order) order. The order the messages are
-// *scheduled* in fixes their heap sequence numbers, so same-timestamp
-// arrivals execute in this deterministic order regardless of which goroutine
-// finished its window first.
-func (e *ShardedEngine) mergeOutboxes() {
+// in (timestamp, edge key, send order) order, returning how many messages it
+// moved. The order the messages are *scheduled* in fixes their heap sequence
+// numbers, so same-timestamp arrivals execute in this deterministic order
+// regardless of which goroutine finished its window first.
+func (e *ShardedEngine) mergeOutboxes() int {
 	staged := e.scratch[:0]
 	for _, c := range e.cross {
 		for i, m := range c.buf {
@@ -254,7 +281,7 @@ func (e *ShardedEngine) mergeOutboxes() {
 	}
 	if len(staged) == 0 {
 		e.scratch = staged
-		return
+		return 0
 	}
 	sort.Slice(staged, func(i, j int) bool {
 		a, b := staged[i], staged[j]
@@ -268,18 +295,20 @@ func (e *ShardedEngine) mergeOutboxes() {
 	})
 	for _, m := range staged {
 		e.shards[m.c.dst].ScheduleArgAt(m.at, m.msg.fn, m.msg.arg)
-		e.merged++
 	}
+	e.merged.Add(uint64(len(staged)))
 	for _, c := range e.cross {
 		for i := range c.buf {
 			c.buf[i] = crossMsg{} // drop payload references, keep capacity
 		}
 		c.buf = c.buf[:0]
 	}
+	n := len(staged)
 	for i := range staged {
 		staged[i] = mergedMsg{}
 	}
 	e.scratch = staged[:0]
+	return n
 }
 
 // Run executes events until every shard's queue (and every outbox) is empty

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardedCountersQueryableMidRun is the regression test for the barrier
+// counter fix: Merged and Windows used to be plain fields only readable
+// after Run returned; they are now published atomically at each barrier so a
+// tracing hook running on a shard goroutine can read them mid-run. A
+// message marches down a 4-shard chain while an event on shard 0 samples the
+// counters in the middle of the run.
+func TestShardedCountersQueryableMidRun(t *testing.T) {
+	const delay = Duration(Millisecond)
+	const hops = 12
+	e := NewSharded(3, 4)
+	// Forward chain edges 0->1->2->3->0 so the message keeps crossing shards.
+	edges := make([]Engine, 4)
+	for i := 0; i < 4; i++ {
+		var err error
+		edges[i], err = e.Cross(i, (i+1)%4, delay, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var forward ArgHandler
+	forward = func(now Time, arg any) {
+		n := arg.(int)
+		if n < hops {
+			ScheduleArg(edges[(n)%4], delay, forward, n+1)
+		}
+	}
+	Schedule(e.Shard(0), 0, func() { ScheduleArg(edges[0], delay, forward, 1) })
+
+	// Sample the counters from inside the run, on a shard's event loop, at a
+	// time when several barriers have certainly completed.
+	type sample struct {
+		at      Time
+		merged  uint64
+		windows uint64
+	}
+	var mid sample
+	Schedule(e.Shard(0), Duration(hops/2)*delay, func() {
+		mid = sample{at: e.Shard(0).Now(), merged: e.Merged(), windows: e.Windows()}
+	})
+
+	// A window observer sees every barrier with coherent bounds.
+	var observed int
+	var observedMerged int
+	e.SetWindowObserver(func(start, end Time, merged int) {
+		if end < start {
+			t.Errorf("window end %d before start %d", end, start)
+		}
+		observed++
+		observedMerged += merged
+	})
+
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mid.at == 0 {
+		t.Fatal("mid-run sample never fired")
+	}
+	if mid.merged == 0 {
+		t.Fatalf("mid-run Merged() = 0 at t=%v; counters must be visible before Run returns", mid.at)
+	}
+	if mid.windows == 0 {
+		t.Fatalf("mid-run Windows() = 0 at t=%v", mid.at)
+	}
+	if got := e.Merged(); got != hops {
+		t.Fatalf("final Merged() = %d, want %d", got, hops)
+	}
+	if mid.merged >= e.Merged() {
+		t.Fatalf("mid-run Merged() = %d not below final %d", mid.merged, e.Merged())
+	}
+	if uint64(observed) != e.Windows() {
+		t.Fatalf("observer saw %d windows, engine counted %d", observed, e.Windows())
+	}
+	if uint64(observedMerged) != e.Merged() {
+		t.Fatalf("observer saw %d merged messages, engine counted %d", observedMerged, e.Merged())
+	}
+}
+
+// TestBatchObserver checks the serial engine's dispatch hook: one call per
+// same-timestamp batch, with the batch length and the queue behind it, and
+// installing it does not change execution order.
+func TestBatchObserver(t *testing.T) {
+	run := func(observe bool) (log []string, batches []string) {
+		s := New(5)
+		if observe {
+			s.SetBatchObserver(func(at Time, batchLen, pending int) {
+				batches = append(batches, fmt.Sprintf("t=%d n=%d q=%d", at, batchLen, pending))
+			})
+		}
+		record := func(name string) func() { return func() { log = append(log, name) } }
+		Schedule(s, 10, record("a"))
+		Schedule(s, 10, record("b"))
+		Schedule(s, 20, record("c"))
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log, batches
+	}
+	plain, _ := run(false)
+	observed, batches := run(true)
+	if fmt.Sprint(plain) != fmt.Sprint(observed) {
+		t.Fatalf("observer changed execution order: %v vs %v", plain, observed)
+	}
+	want := []string{"t=10 n=2 q=1", "t=20 n=1 q=0"}
+	if fmt.Sprint(batches) != fmt.Sprint(want) {
+		t.Fatalf("batch log = %v, want %v", batches, want)
+	}
+}

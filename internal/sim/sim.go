@@ -147,6 +147,9 @@ type Simulator struct {
 	// counts its not-yet-fired events so Pending stays exact mid-callback.
 	batch          []*event
 	batchRemaining int
+	// batchObs, when set, observes every same-timestamp dispatch batch.
+	// Kept nil by default so the dispatch loop pays one predictable branch.
+	batchObs func(at Time, batchLen, pending int)
 }
 
 // compactMinLen is the queue size below which compaction is not worth the
@@ -226,6 +229,14 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // cancelled events awaiting lazy removal).
 func (s *Simulator) Pending() int { return s.q.len() + s.batchRemaining }
 
+// SetBatchObserver installs fn to be called once per same-timestamp dispatch
+// batch with the batch timestamp, the batch length, and the events still
+// queued behind it. The observer must not schedule events or draw
+// randomness; it exists for flight-recorder tracing, which records into a
+// fixed ring and therefore cannot perturb the trajectory. A nil fn (the
+// default) restores the zero-cost path: one predictable branch per batch.
+func (s *Simulator) SetBatchObserver(fn func(at Time, batchLen, pending int)) { s.batchObs = fn }
+
 // ScheduleArgAt registers an argument-carrying event at absolute time at;
 // times in the past are clamped to the present. This is the one canonical
 // scheduling primitive — Schedule, ScheduleAt, ScheduleArg and Ticker are
@@ -301,6 +312,9 @@ func (s *Simulator) step(limit Time) bool {
 	s.batch = batch
 	s.now = head.at
 	s.batchRemaining = len(batch)
+	if s.batchObs != nil {
+		s.batchObs(head.at, len(batch), s.q.len())
+	}
 	for i, ev := range batch {
 		if s.stopped {
 			// Re-push the unexecuted remainder; sequence numbers are
