@@ -3,6 +3,11 @@
 // (events, attempts, delivered pairs), heap cost per entanglement attempt,
 // and — with -wallclock — host throughput.
 //
+// Besides the registered scenarios (-scenarios, -list), -scenario <file>.json
+// benches a declarative scenario spec (see internal/scenario): the spec's
+// topology, hardware, protocol and traffic define the workload while the
+// bench flags keep control of seed, backend, shards and queue.
+//
 // The human-readable table always prints to stdout. With -json, every
 // scenario additionally writes BENCH_<scenario>.json into -out; those files
 // are byte-identical across runs and -parallel levels unless -wallclock adds
@@ -14,6 +19,7 @@
 //
 //	bench                                    # all scenarios, table only
 //	bench -scenarios single-link,e2e-4hop
+//	bench -scenario scenarios/chain16-bench.json
 //	bench -json -out bench/baseline -wallclock   # refresh the committed baseline
 //	bench -json -baseline bench/baseline -gate 0.20   # the CI alloc gate
 //
@@ -31,16 +37,17 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/obs"
-	"repro/internal/prof"
-	"repro/internal/quantum"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		scenarios = flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+		scenarios = flag.String("scenarios", "all", "comma-separated registered scenario names, or 'all'")
+		specFile  = flag.String("scenario", "", "bench a declarative scenario spec file instead of the registered scenarios")
 		list      = flag.Bool("list", false, "list registered scenarios and exit")
 		seconds   = flag.Float64("seconds", 0, "simulated seconds per trial (0 = each scenario's own default)")
 		trials    = flag.Int("trials", 3, "independently seeded repetitions feeding the deterministic counters")
@@ -51,28 +58,22 @@ func main() {
 		wallclock = flag.Bool("wallclock", false, "add the host-dependent wall-clock section (makes the JSON machine-specific)")
 		baseline  = flag.String("baseline", "", "baseline directory to gate against (fails on regression)")
 		gate      = flag.Float64("gate", 0.20, "allowed relative regression vs the baseline (0.20 = 20%)")
-		backend   = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) Bell-diagonal fast path); $REPRO_BACKEND sets the default")
-		shards    = flag.Int("shards", 0, "worker shards of the simulation engine (<=1 serial; counters are identical at any shard count)")
-		queue     = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
 
-		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON flight recording of trial 0 to this file (single scenario only; view in ui.perfetto.dev)")
-		traceCap   = flag.Int("tracecap", 1<<16, "per-ring record capacity of the flight recorder (rounded up to a power of two)")
-		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot of trial 0 to this file (single scenario only)")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
+		shared = cli.Register(flag.CommandLine, cli.Config{
+			BackendHelp: "pair-state backend: dense (exact, default) or belldiag (O(1) Bell-diagonal fast path); $REPRO_BACKEND sets the default",
+			ShardsHelp:  "worker shards of the simulation engine (<=1 serial; counters are identical at any shard count)",
+			TraceHelp:   "write a Chrome trace-event JSON flight recording of trial 0 to this file (single scenario only; view in ui.perfetto.dev)",
+			MetricsHelp: "write a JSON metrics snapshot of trial 0 to this file (single scenario only)",
+		})
 	)
 	flag.Parse()
 
-	be, err := quantum.ResolveBackend(*backend)
+	resolved, err := shared.Resolve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	qk, err := sim.ResolveQueue(*queue)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	be, qk := resolved.Backend, resolved.Queue
 
 	if *list {
 		for _, sc := range bench.Scenarios() {
@@ -82,9 +83,31 @@ func main() {
 	}
 
 	var selected []bench.Scenario
-	if *scenarios == "all" {
+	switch {
+	case *specFile != "":
+		if *scenarios != "all" {
+			fmt.Fprintln(os.Stderr, "-scenario and -scenarios are mutually exclusive")
+			os.Exit(2)
+		}
+		sp, err := scenario.Load(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		compiled, err := sp.Compile()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc, err := bench.FromSpec(compiled)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		selected = append(selected, sc)
+	case *scenarios == "all":
 		selected = bench.Scenarios()
-	} else {
+	default:
 		for _, name := range strings.Split(*scenarios, ",") {
 			name = strings.TrimSpace(name)
 			sc, ok := bench.ScenarioByName(name)
@@ -103,7 +126,7 @@ func main() {
 		Parallelism: *parallel,
 		WallClock:   *wallclock,
 		Backend:     be,
-		Shards:      *shards,
+		Shards:      resolved.Shards,
 		Queue:       qk,
 	}
 
@@ -112,21 +135,12 @@ func main() {
 	// unperturbed by it; the alloc and wall-clock passes never see it.
 	var tracer *obs.Tracer
 	var registry *obs.Registry
-	if *traceOut != "" || *metricsOut != "" {
+	if *shared.TraceOut != "" || *shared.MetricsOut != "" {
 		if len(selected) != 1 {
 			fmt.Fprintln(os.Stderr, "-trace/-metrics require exactly one scenario (use -scenarios <name>)")
 			os.Exit(2)
 		}
-		if *traceOut != "" {
-			shardCount := *shards
-			if shardCount < 1 {
-				shardCount = 1
-			}
-			tracer = obs.NewTracer(shardCount, *traceCap)
-		}
-		if *metricsOut != "" {
-			registry = obs.NewRegistry()
-		}
+		tracer, registry = shared.Observability()
 		opts.Instrument = func(trial int) (*obs.Tracer, *obs.Registry) {
 			if trial == 0 {
 				return tracer, registry
@@ -134,15 +148,15 @@ func main() {
 			return nil, nil
 		}
 	}
-	stopCPU, err := prof.StartCPU(*cpuProfile)
+	stopCPU, err := shared.StartCPU()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
 	engine := "serial engine"
-	if *shards > 1 {
-		engine = fmt.Sprintf("%d-shard engine", *shards)
+	if resolved.Shards > 1 {
+		engine = fmt.Sprintf("%d-shard engine", resolved.Shards)
 	}
 	duration := "per-scenario duration"
 	if *seconds > 0 {
@@ -218,18 +232,13 @@ func main() {
 	}
 
 	stopCPU()
-	if err := prof.WriteTrace(*traceOut, tracer); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if registry != nil {
+	if tracer != nil || registry != nil {
 		end := sim.Time(sim.DurationSeconds(trialSimSeconds))
-		if err := prof.WriteMetrics(*metricsOut, registry, end); err != nil {
+		if err := shared.WriteArtifacts(tracer, registry, end); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	}
-	if err := prof.WriteHeap(*memProfile); err != nil {
+	} else if err := shared.WriteArtifacts(nil, nil, 0); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

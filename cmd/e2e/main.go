@@ -5,6 +5,19 @@
 // throughput, delivered vs predicted fidelity, swap-latency and end-to-end
 // latency percentiles).
 //
+// Runs are described declaratively: -scenario <file>.json loads a scenario
+// spec (see internal/scenario) whose service section carries the
+// source/destination pair, routing cost, swap-gate fidelity and the
+// end-to-end stream; the classic flags remain as thin shims assembling the
+// equivalent spec internally.
+//
+// Migration note: -scenario used to name only the hardware scenario (Lab or
+// QL2020). Those two values still select the hardware for flag-driven runs;
+// any other value is taken as the path of a scenario spec file, which then
+// replaces the topology/hardware/service flags entirely (setting one of them
+// alongside a spec file is an error). -seed, -seconds, -trials, -backend and
+// -queue stay usable as overrides on top of a spec.
+//
 // Repetitions (-trials) fan out across a worker pool (-parallel); each trial
 // derives its seed from the base seed and its index, so the printed tables
 // are byte-identical at every parallelism level.
@@ -14,7 +27,7 @@
 //	e2e -nodes 5                                   # 4-hop repeater chain
 //	e2e -nodes 7 -fmin 0.45 -seconds 4             # longer chain, higher floor
 //	e2e -topology grid -nodes 9 -src 0 -dst 8      # corner-to-corner grid
-//	e2e -cost fidelity -gate 0.99                  # fidelity-aware routing, noisy BSM
+//	e2e -scenario scenarios/e2e-chain5.json -parallel 4
 package main
 
 import (
@@ -23,14 +36,14 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/network"
-	"repro/internal/nv"
 	"repro/internal/obs"
-	"repro/internal/prof"
-	"repro/internal/quantum"
+	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // trialStats holds one trial's per-path rows plus the aggregate row.
@@ -42,17 +55,14 @@ type trialStats struct {
 	end     sim.Time
 }
 
-// runTrial builds and runs one network + service with a trial-derived seed.
-// trace and registry (normally non-nil only for trial 0) attach the
-// observability layer; they never change the simulated trajectory.
-func runTrial(spec netsim.Spec, scenario nv.ScenarioID, backend quantum.Backend, queue sim.QueueKind, loss float64, cost string, gate float64,
-	traffic network.TrafficConfig, seed int64, trial int, seconds float64, trace *obs.Tracer, registry *obs.Registry) (trialStats, error) {
-	cfg := netsim.DefaultConfig(spec, scenario)
-	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
-	cfg.Backend = backend
-	cfg.Queue = queue
-	cfg.ClassicalLossProb = loss
-	cfg.HoldPairs = true
+// runTrial builds and runs one network + service from the compiled scenario
+// with a trial-derived seed. trace and registry (normally non-nil only for
+// trial 0) attach the observability layer; they never change the simulated
+// trajectory.
+func runTrial(c *scenario.Compiled, trial int, trace *obs.Tracer, registry *obs.Registry) (trialStats, error) {
+	sv := c.Service
+	cfg := c.Config
+	cfg.Seed = experiments.DeriveSeed(c.Config.Seed, uint64(trial))
 	cfg.Trace = trace
 	cfg.Metrics = registry
 	nw, err := netsim.NewNetwork(cfg)
@@ -60,25 +70,35 @@ func runTrial(spec netsim.Spec, scenario nv.ScenarioID, backend quantum.Backend,
 		return trialStats{}, err
 	}
 	ncfg := network.DefaultConfig()
-	ncfg.SwapGateFidelity = gate
+	ncfg.SwapGateFidelity = sv.SwapGateFidelity
 	ncfg.Trace = trace
 	ncfg.Metrics = registry
-	costFn, ok := network.CostByName(nw, cost)
+	costFn, ok := network.CostByName(nw, sv.Cost)
 	if !ok {
-		return trialStats{}, fmt.Errorf("unknown cost %q (hops|fidelity|rate)", cost)
+		return trialStats{}, fmt.Errorf("unknown cost %q (hops|fidelity|rate)", sv.Cost)
 	}
 	ncfg.Cost = costFn
 	svc, err := network.NewService(nw, ncfg)
 	if err != nil {
 		return trialStats{}, err
 	}
-	p, err := svc.Router().Path(traffic.Pairs[0][0], traffic.Pairs[0][1])
+	p, err := svc.Router().Path(sv.Src, sv.Dst)
 	if err != nil {
 		return trialStats{}, err
 	}
-	tr := svc.AttachTraffic(traffic)
+	if sv.StandingPairs > 0 {
+		if _, code := svc.Create(network.CreateRequest{
+			SrcNode:     sv.Src,
+			DstNode:     sv.Dst,
+			NumPairs:    sv.StandingPairs,
+			MinFidelity: sv.Traffic.MinFidelity,
+		}); code != wire.ErrNone {
+			return trialStats{}, fmt.Errorf("standing end-to-end request rejected: %s", code)
+		}
+	}
+	tr := svc.AttachTraffic(sv.Traffic)
 	tr.Start()
-	nw.Run(sim.DurationSeconds(seconds))
+	nw.Run(sim.DurationSeconds(c.Seconds))
 	svc.FinishAt(nw.Sim.Now())
 	perPath, agg := svc.Stats()
 	return trialStats{perPath: perPath, agg: agg, swaps: svc.Swaps(), path: p.String(), end: nw.Sim.Now()}, nil
@@ -106,16 +126,21 @@ func statsRow(s network.PathStats) []string {
 
 var statsColumns = []string{"path", "hops", "requests", "completed", "failed", "pairs", "throughput(1/s)", "fidelity", "predicted", "swap_p50(s)", "swap_p99(s)", "e2e_p50(s)", "e2e_p99(s)", "ttp_p99(s)"}
 
+// fail prints to stderr and exits with a usage error.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
 func main() {
 	var (
 		topology = flag.String("topology", "chain", "topology: chain|star|grid|edges")
 		nodes    = flag.Int("nodes", 5, "node count (grid requires a perfect square)")
 		edgeList = flag.String("edges", "", "explicit edge list for -topology edges, e.g. 0-1,1-2,2-0")
-		scenario = flag.String("scenario", "Lab", "hardware scenario: Lab or QL2020")
+		scen     = flag.String("scenario", "Lab", "hardware scenario (Lab or QL2020), or the path of a declarative scenario spec file with a service section")
 		src      = flag.Int("src", 0, "source node of the end-to-end pair stream")
 		dst      = flag.Int("dst", -1, "destination node (default: last node)")
 		cost     = flag.String("cost", "hops", "routing cost function: hops|fidelity|rate")
-		backend  = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) fast path); $REPRO_BACKEND sets the default")
 		load     = flag.Float64("load", 0.3, "offered end-to-end load fraction of the bottleneck link rate")
 		kmax     = flag.Int("kmax", 1, "maximum end-to-end pairs per request")
 		fmin     = flag.Float64("fmin", 0.35, "end-to-end minimum delivered fidelity")
@@ -126,92 +151,119 @@ func main() {
 		seconds  = flag.Float64("seconds", 2, "simulated seconds per trial")
 		trials   = flag.Int("trials", 3, "independent repetitions (seeds derived from -seed)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
-		queue    = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
 
-		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON flight recording of trial 0 to this file (view in ui.perfetto.dev)")
-		traceCap   = flag.Int("tracecap", 1<<16, "per-ring record capacity of the flight recorder (rounded up to a power of two)")
-		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot of trial 0 to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
+		shared = cli.Register(flag.CommandLine, cli.Config{})
 	)
 	flag.Parse()
 
-	spec, err := netsim.SpecFromFlags(*topology, *nodes, *edgeList)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if err := spec.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	switch nv.ScenarioID(*scenario) {
-	case nv.ScenarioLab, nv.ScenarioQL2020:
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (Lab|QL2020)\n", *scenario)
-		os.Exit(2)
-	}
-	if *dst < 0 {
-		*dst = spec.Nodes - 1
-	}
-	if *src < 0 || *src >= spec.Nodes || *dst >= spec.Nodes || *src == *dst {
-		fmt.Fprintf(os.Stderr, "bad src/dst pair %d-%d for %d nodes\n", *src, *dst, spec.Nodes)
-		os.Exit(2)
-	}
-	if *gate <= 0 || *gate > 1 {
-		fmt.Fprintln(os.Stderr, "gate fidelity must be in (0,1]")
-		os.Exit(2)
-	}
-	be, err := quantum.ResolveBackend(*backend)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	qk, err := sim.ResolveQueue(*queue)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	visited := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+
 	if *trials <= 0 {
 		*trials = 1
 	}
+
+	var compiled *scenario.Compiled
+	switch *scen {
+	case "Lab", "QL2020":
+		// Flag-driven run: assemble the equivalent spec and compile it, so
+		// both paths share one runner and one semantics.
+		sp := &scenario.Spec{
+			Name:     "cli",
+			Topology: scenario.Topology{Kind: *topology, Nodes: *nodes, Edges: *edgeList},
+			Hardware: &scenario.Hardware{Scenario: *scen, Backend: *shared.Backend},
+			Engine:   &scenario.Engine{Seed: *seed, Queue: *shared.Queue},
+			Protocol: &scenario.Protocol{ClassicalLoss: *loss},
+			Run:      &scenario.Run{Seconds: *seconds, Trials: *trials},
+			Service: &scenario.Service{
+				Src:              *src,
+				Dst:              dst,
+				Cost:             *cost,
+				SwapGateFidelity: *gate,
+				Load:             *load,
+				MaxPairs:         *kmax,
+				MinFidelity:      *fmin,
+				DeadlineS:        *deadline,
+			},
+		}
+		c, err := sp.Compile()
+		if err != nil {
+			fail(err)
+		}
+		compiled = c
+	default:
+		// Spec-file run: the file is authoritative for topology, hardware and
+		// service; engine/run flags act as explicit overrides.
+		for _, name := range []string{"topology", "nodes", "edges", "src", "dst", "cost", "load", "kmax", "fmin", "deadline", "gate", "loss"} {
+			if visited[name] {
+				fail(fmt.Errorf("-%s conflicts with -scenario %s: set it in the spec file", name, *scen))
+			}
+		}
+		sp, err := scenario.Load(*scen)
+		if err != nil {
+			fail(err)
+		}
+		if sp.Service == nil {
+			fail(fmt.Errorf("scenario %q has no service section; e2e runs end-to-end specs only (use netsim for link-layer specs)", sp.Name))
+		}
+		if visited["seed"] || visited["queue"] {
+			if sp.Engine == nil {
+				sp.Engine = &scenario.Engine{}
+			}
+			if visited["seed"] {
+				sp.Engine.Seed = *seed
+			}
+			if visited["queue"] {
+				sp.Engine.Queue = *shared.Queue
+			}
+		}
+		if visited["backend"] {
+			if sp.Hardware == nil {
+				sp.Hardware = &scenario.Hardware{}
+			}
+			sp.Hardware.Backend = *shared.Backend
+		}
+		if visited["seconds"] || visited["trials"] {
+			if sp.Run == nil {
+				sp.Run = &scenario.Run{}
+			}
+			if visited["seconds"] {
+				sp.Run.Seconds = *seconds
+			}
+			if visited["trials"] {
+				sp.Run.Trials = *trials
+			}
+		}
+		c, err := sp.Compile()
+		if err != nil {
+			fail(err)
+		}
+		compiled = c
+	}
 	if *parallel <= 0 {
 		*parallel = 1
-	}
-	traffic := network.TrafficConfig{
-		Pairs:       [][2]int{{*src, *dst}},
-		Load:        *load,
-		MaxPairs:    *kmax,
-		MinFidelity: *fmin,
-		MaxTime:     sim.DurationSeconds(*deadline),
 	}
 
 	// Observability attaches to trial 0 only: the remaining trials stay on
 	// the uninstrumented production path (tracing would not change their
 	// trajectory either way, but one recorded trial is all the files need).
-	var tracer *obs.Tracer
-	var registry *obs.Registry
-	if *traceOut != "" {
-		tracer = obs.NewTracer(1, *traceCap)
-	}
-	if *metricsOut != "" {
-		registry = obs.NewRegistry()
-	}
-	stopCPU, err := prof.StartCPU(*cpuProfile)
+	tracer, registry := shared.Observability()
+	stopCPU, err := shared.StartCPU()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	results := make([]trialStats, *trials)
-	errs := make([]error, *trials)
-	experiments.RunIndexed(*trials, *parallel, func(i int) {
+	nTrials := compiled.Trials
+	results := make([]trialStats, nTrials)
+	errs := make([]error, nTrials)
+	experiments.RunIndexed(nTrials, *parallel, func(i int) {
 		var tr *obs.Tracer
 		var reg *obs.Registry
 		if i == 0 {
 			tr, reg = tracer, registry
 		}
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), be, qk, *loss, *cost, *gate, traffic, *seed, i, *seconds, tr, reg)
+		results[i], errs[i] = runTrial(compiled, i, tr, reg)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -221,17 +273,7 @@ func main() {
 	}
 
 	stopCPU()
-	if err := prof.WriteTrace(*traceOut, tracer); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if registry != nil {
-		if err := prof.WriteMetrics(*metricsOut, registry, results[0].end); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	if err := prof.WriteHeap(*memProfile); err != nil {
+	if err := shared.WriteArtifacts(tracer, registry, results[0].end); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -240,12 +282,14 @@ func main() {
 	for _, r := range results {
 		swaps += r.swaps
 	}
+	sv := compiled.Service
 	fmt.Printf("# e2e %s on %s: path %s cost=%s load=%.2f kmax=%d Fmin=%.2f gate=%g loss=%g seed=%d %.1fs simulated, %d trial(s), %d swaps total\n",
-		spec, *scenario, results[0].path, *cost, *load, *kmax, *fmin, *gate, *loss, *seed, *seconds, *trials, swaps)
+		compiled.Topology, compiled.Config.Scenario, results[0].path, sv.Cost, sv.Traffic.Load, sv.Traffic.MaxPairs, sv.Traffic.MinFidelity,
+		sv.SwapGateFidelity, compiled.Config.ClassicalLossProb, compiled.Config.Seed, compiled.Seconds, nTrials, swaps)
 
 	perPath := experiments.Table{
 		ID:      "e2e-paths",
-		Caption: fmt.Sprintf("Per-path end-to-end performance, averaged over %d trial(s)", *trials),
+		Caption: fmt.Sprintf("Per-path end-to-end performance, averaged over %d trial(s)", nTrials),
 		Columns: statsColumns,
 	}
 	// Collect the union of paths across trials in first-seen order: a trial
@@ -262,7 +306,7 @@ func main() {
 		}
 	}
 	for _, name := range pathOrder {
-		rows := make([]network.PathStats, *trials)
+		rows := make([]network.PathStats, nTrials)
 		for ti := range results {
 			rows[ti] = network.PathStats{Path: name}
 			for _, ps := range results[ti].perPath {
@@ -276,13 +320,13 @@ func main() {
 	}
 	fmt.Println(perPath.String())
 
-	aggRows := make([]network.PathStats, *trials)
+	aggRows := make([]network.PathStats, nTrials)
 	for ti := range results {
 		aggRows[ti] = results[ti].agg
 	}
 	aggregate := experiments.Table{
 		ID:      "e2e-aggregate",
-		Caption: fmt.Sprintf("Network aggregate, averaged over %d trial(s)", *trials),
+		Caption: fmt.Sprintf("Network aggregate, averaged over %d trial(s)", nTrials),
 		Columns: statsColumns,
 		Rows:    [][]string{statsRow(network.MeanPathStats(aggRows))},
 	}

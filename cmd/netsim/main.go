@@ -1,8 +1,24 @@
 // Command netsim runs the multi-link network layer: it instantiates a
 // topology (chain, star, grid or an explicit edge list) of heralded quantum
-// links on one deterministic simulator, drives every link with Poisson
-// CREATE traffic, and prints per-link and aggregate performance tables
-// (throughput, fidelity, latency percentiles, queue occupancy).
+// links on one deterministic simulator, drives every link with the
+// configured traffic, and prints per-link and aggregate performance tables
+// (throughput, fidelity, latency percentiles, queue occupancy) — plus a
+// per-class SLO table when the workload has traffic classes.
+//
+// Runs are described declaratively: -scenario <file>.json loads a scenario
+// spec (see internal/scenario and the committed scenarios/ library) carrying
+// topology, hardware, engine, protocol and traffic. The classic topology and
+// traffic flags (-topology/-nodes/-edges/-load/-kmax/-fmin/-keep/...) remain
+// as thin shims that assemble the equivalent spec internally and produce
+// byte-identical tables; prefer spec files for anything kept under version
+// control.
+//
+// Migration note: -scenario used to name only the hardware scenario (Lab or
+// QL2020). Those two values still select the hardware for flag-driven runs;
+// any other value is taken as the path of a scenario spec file, which then
+// replaces the topology/hardware/protocol/traffic flags entirely (setting
+// one of them alongside a spec file is an error). -seed, -seconds, -trials,
+// -shards, -backend and -queue stay usable as overrides on top of a spec.
 //
 // Repetitions (-trials) fan out across a worker pool (-parallel); each trial
 // derives its seed from the base seed and its index, so the printed tables
@@ -12,8 +28,8 @@
 //
 //	netsim -topology chain -nodes 8
 //	netsim -topology grid -nodes 9 -load 0.99 -seconds 2
-//	netsim -topology star -nodes 5 -trials 8 -parallel 4
-//	netsim -topology edges -edges 0-1,1-2,2-0 -keep
+//	netsim -scenario scenarios/chain8-mixed-classes.json -parallel 4
+//	netsim -scenario scenarios/chain16-bench.json -shards 4
 package main
 
 import (
@@ -22,44 +38,50 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
-	"repro/internal/nv"
 	"repro/internal/obs"
-	"repro/internal/prof"
-	"repro/internal/quantum"
+	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
-// trialStats holds one trial's per-link rows plus the aggregate row.
+// trialStats holds one trial's per-link rows, the aggregate row and (for
+// class workloads) the per-class accounts.
 type trialStats struct {
-	perLink []netsim.LinkStats
-	agg     netsim.LinkStats
-	end     sim.Time
+	perLink  []netsim.LinkStats
+	agg      netsim.LinkStats
+	end      sim.Time
+	accounts []*workload.ClassAccount
+	oldest   []float64
 }
 
-// runTrial builds and runs one network with a trial-derived seed. trace and
-// registry (normally non-nil only for trial 0) attach the observability
-// layer; they never change the simulated trajectory.
-func runTrial(spec netsim.Spec, scenario nv.ScenarioID, scheduler string, backend quantum.Backend, queue sim.QueueKind, loss float64,
-	traffic netsim.TrafficConfig, seed int64, trial int, seconds float64, shards int, trace *obs.Tracer, registry *obs.Registry) (trialStats, error) {
-	cfg := netsim.DefaultConfig(spec, scenario)
-	cfg.Seed = experiments.DeriveSeed(seed, uint64(trial))
-	cfg.Scheduler = scheduler
-	cfg.Backend = backend
-	cfg.Queue = queue
-	cfg.ClassicalLossProb = loss
-	cfg.Shards = shards
+// runTrial builds and runs one network from the compiled scenario with a
+// trial-derived seed. trace and registry (normally non-nil only for trial 0)
+// attach the observability layer; they never change the simulated
+// trajectory.
+func runTrial(c *scenario.Compiled, trial int, trace *obs.Tracer, registry *obs.Registry) (trialStats, error) {
+	cfg := c.Config
+	cfg.Seed = experiments.DeriveSeed(c.Config.Seed, uint64(trial))
 	cfg.Trace = trace
 	cfg.Metrics = registry
 	nw, err := netsim.NewNetwork(cfg)
 	if err != nil {
 		return trialStats{}, err
 	}
-	nw.AttachTraffic(traffic)
-	nw.Run(sim.DurationSeconds(seconds))
+	mt, err := c.Attach(nw)
+	if err != nil {
+		return trialStats{}, err
+	}
+	nw.Run(sim.DurationSeconds(c.Seconds))
 	perLink, agg := nw.Stats()
-	return trialStats{perLink: perLink, agg: agg, end: nw.Sim.Now()}, nil
+	st := trialStats{perLink: perLink, agg: agg, end: nw.Sim.Now()}
+	if mt != nil {
+		st.accounts = mt.Accounts()
+		st.oldest = mt.OldestWaits()
+	}
+	return st, nil
 }
 
 // statsRow renders one averaged row.
@@ -81,14 +103,19 @@ func statsRow(s netsim.LinkStats) []string {
 
 var statsColumns = []string{"link", "requests", "errors", "pairs", "throughput(1/s)", "fidelity", "lat_p50(s)", "lat_p90(s)", "lat_p99(s)", "queue(avg)", "queue(max)"}
 
+// fail prints to stderr and exits with a usage error.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
 func main() {
 	var (
 		topology  = flag.String("topology", "chain", "topology: chain|star|grid|dragonfly|edges")
 		nodes     = flag.Int("nodes", 8, "node count (grid requires a perfect square)")
 		edgeList  = flag.String("edges", "", "explicit edge list for -topology edges, e.g. 0-1,1-2,2-0")
-		scenario  = flag.String("scenario", "Lab", "hardware scenario: Lab or QL2020")
+		scen      = flag.String("scenario", "Lab", "hardware scenario (Lab or QL2020), or the path of a declarative scenario spec file that replaces the topology/traffic flags")
 		scheduler = flag.String("scheduler", "FCFS", "per-link EGP scheduler: FCFS, LowerWFQ or HigherWFQ")
-		backend   = flag.String("backend", "", "pair-state backend: dense (exact, default) or belldiag (O(1) fast path); $REPRO_BACKEND sets the default")
 		load      = flag.Float64("load", 0.7, "per-link offered load fraction f")
 		kmax      = flag.Int("kmax", 2, "maximum pairs per request")
 		fmin      = flag.Float64("fmin", 0.64, "requested minimum fidelity")
@@ -98,76 +125,99 @@ func main() {
 		seconds   = flag.Float64("seconds", 1, "simulated seconds per trial")
 		trials    = flag.Int("trials", 3, "independent repetitions (seeds derived from -seed)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines across trials (tables are identical at any level)")
-		shards    = flag.Int("shards", 0, "worker shards of the simulation engine (<=1 serial; tables are identical at any shard count)")
-		queue     = flag.String("queue", "", "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default")
 
-		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON flight recording of trial 0 to this file (view in ui.perfetto.dev)")
-		traceCap   = flag.Int("tracecap", 1<<16, "per-ring record capacity of the flight recorder (rounded up to a power of two)")
-		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot of trial 0 to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
+		shared = cli.Register(flag.CommandLine, cli.Config{ShardsHelp: cli.ShardsTablesHelp})
 	)
 	flag.Parse()
 
-	spec, err := netsim.SpecFromFlags(*topology, *nodes, *edgeList)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if err := spec.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	switch nv.ScenarioID(*scenario) {
-	case nv.ScenarioLab, nv.ScenarioQL2020:
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (Lab|QL2020)\n", *scenario)
-		os.Exit(2)
-	}
-	switch *scheduler {
-	case "FCFS", "LowerWFQ", "HigherWFQ":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q (FCFS|LowerWFQ|HigherWFQ)\n", *scheduler)
-		os.Exit(2)
-	}
-	be, err := quantum.ResolveBackend(*backend)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	qk, err := sim.ResolveQueue(*queue)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	visited := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+
 	if *trials <= 0 {
 		*trials = 1
+	}
+
+	var compiled *scenario.Compiled
+	switch *scen {
+	case "Lab", "QL2020":
+		// Flag-driven run: assemble the equivalent spec and compile it, so
+		// both paths share one runner and one semantics.
+		sp := &scenario.Spec{
+			Name:     "cli",
+			Topology: scenario.Topology{Kind: *topology, Nodes: *nodes, Edges: *edgeList},
+			Hardware: &scenario.Hardware{Scenario: *scen, Backend: *shared.Backend},
+			Engine:   &scenario.Engine{Seed: *seed, Queue: *shared.Queue, Shards: *shared.Shards},
+			Protocol: &scenario.Protocol{Scheduler: *scheduler, ClassicalLoss: *loss},
+			Run:      &scenario.Run{Seconds: *seconds, Trials: *trials},
+			Traffic: &scenario.Traffic{Poisson: &scenario.Poisson{
+				Load:        *load,
+				MaxPairs:    *kmax,
+				MinFidelity: *fmin,
+				Keep:        *keep,
+			}},
+		}
+		c, err := sp.Compile()
+		if err != nil {
+			fail(err)
+		}
+		compiled = c
+	default:
+		// Spec-file run: the file is authoritative for topology, hardware,
+		// protocol and traffic; engine/run flags act as explicit overrides.
+		for _, name := range []string{"topology", "nodes", "edges", "scheduler", "load", "kmax", "fmin", "keep", "loss"} {
+			if visited[name] {
+				fail(fmt.Errorf("-%s conflicts with -scenario %s: set it in the spec file", name, *scen))
+			}
+		}
+		sp, err := scenario.Load(*scen)
+		if err != nil {
+			fail(err)
+		}
+		if visited["seed"] {
+			if sp.Engine == nil {
+				sp.Engine = &scenario.Engine{}
+			}
+			sp.Engine.Seed = *seed
+		}
+		if visited["backend"] || visited["queue"] || visited["shards"] {
+			if sp.Engine == nil {
+				sp.Engine = &scenario.Engine{}
+			}
+			if visited["backend"] {
+				sp.Hardware.Backend = *shared.Backend
+			}
+			if visited["queue"] {
+				sp.Engine.Queue = *shared.Queue
+			}
+			if visited["shards"] {
+				sp.Engine.Shards = *shared.Shards
+			}
+		}
+		if visited["seconds"] || visited["trials"] {
+			if sp.Run == nil {
+				sp.Run = &scenario.Run{}
+			}
+			if visited["seconds"] {
+				sp.Run.Seconds = *seconds
+			}
+			if visited["trials"] {
+				sp.Run.Trials = *trials
+			}
+		}
+		c, err := sp.Compile()
+		if err != nil {
+			fail(err)
+		}
+		compiled = c
 	}
 	if *parallel <= 0 {
 		*parallel = 1
 	}
-	traffic := netsim.TrafficConfig{
-		Load:        *load,
-		MaxPairs:    *kmax,
-		MinFidelity: *fmin,
-		Keep:        *keep,
-	}
 
 	// Observability attaches to trial 0 only; the remaining trials stay on
 	// the uninstrumented production path.
-	var tracer *obs.Tracer
-	var registry *obs.Registry
-	if *traceOut != "" {
-		shardCount := *shards
-		if shardCount < 1 {
-			shardCount = 1
-		}
-		tracer = obs.NewTracer(shardCount, *traceCap)
-	}
-	if *metricsOut != "" {
-		registry = obs.NewRegistry()
-	}
-	stopCPU, err := prof.StartCPU(*cpuProfile)
+	tracer, registry := shared.Observability()
+	stopCPU, err := shared.StartCPU()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -175,15 +225,16 @@ func main() {
 
 	// Fan the trials out over the worker pool; results land at their own
 	// index so the aggregation below is order-independent.
-	results := make([]trialStats, *trials)
-	errs := make([]error, *trials)
-	experiments.RunIndexed(*trials, *parallel, func(i int) {
+	nTrials := compiled.Trials
+	results := make([]trialStats, nTrials)
+	errs := make([]error, nTrials)
+	experiments.RunIndexed(nTrials, *parallel, func(i int) {
 		var tr *obs.Tracer
 		var reg *obs.Registry
 		if i == 0 {
 			tr, reg = tracer, registry
 		}
-		results[i], errs[i] = runTrial(spec, nv.ScenarioID(*scenario), *scheduler, be, qk, *loss, traffic, *seed, i, *seconds, *shards, tr, reg)
+		results[i], errs[i] = runTrial(compiled, i, tr, reg)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -193,35 +244,20 @@ func main() {
 	}
 
 	stopCPU()
-	if err := prof.WriteTrace(*traceOut, tracer); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if registry != nil {
-		if err := prof.WriteMetrics(*metricsOut, registry, results[0].end); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	if err := prof.WriteHeap(*memProfile); err != nil {
+	if err := shared.WriteArtifacts(tracer, registry, results[0].end); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	kind := "M"
-	if *keep {
-		kind = "K"
-	}
-	fmt.Printf("# netsim %s on %s: load=%.2f kind=%s kmax=%d Fmin=%.2f loss=%g seed=%d %.1fs simulated, %d trial(s)\n",
-		spec, *scenario, *load, kind, *kmax, *fmin, *loss, *seed, *seconds, *trials)
+	printHeader(compiled)
 
 	perLink := experiments.Table{
 		ID:      "netsim-links",
-		Caption: fmt.Sprintf("Per-link performance, averaged over %d trial(s)", *trials),
+		Caption: fmt.Sprintf("Per-link performance, averaged over %d trial(s)", nTrials),
 		Columns: statsColumns,
 	}
 	for li := range results[0].perLink {
-		rows := make([]netsim.LinkStats, *trials)
+		rows := make([]netsim.LinkStats, nTrials)
 		for ti := range results {
 			rows[ti] = results[ti].perLink[li]
 		}
@@ -229,15 +265,67 @@ func main() {
 	}
 	fmt.Println(perLink.String())
 
-	aggRows := make([]netsim.LinkStats, *trials)
+	aggRows := make([]netsim.LinkStats, nTrials)
 	for ti := range results {
 		aggRows[ti] = results[ti].agg
 	}
 	aggregate := experiments.Table{
 		ID:      "netsim-aggregate",
-		Caption: fmt.Sprintf("Network aggregate, averaged over %d trial(s)", *trials),
+		Caption: fmt.Sprintf("Network aggregate, averaged over %d trial(s)", nTrials),
 		Columns: statsColumns,
 		Rows:    [][]string{statsRow(netsim.MeanStats(aggRows))},
 	}
 	fmt.Println(aggregate.String())
+
+	if len(compiled.Classes) > 0 {
+		printSLO(compiled, results)
+	}
+}
+
+// printHeader summarises the run; the wording for Poisson runs matches the
+// historical flag-era header byte for byte.
+func printHeader(c *scenario.Compiled) {
+	cfg := c.Config
+	if p := c.Poisson; p != nil {
+		kind := "M"
+		if p.Keep {
+			kind = "K"
+		}
+		fmt.Printf("# netsim %s on %s: load=%.2f kind=%s kmax=%d Fmin=%.2f loss=%g seed=%d %.1fs simulated, %d trial(s)\n",
+			c.Topology, cfg.Scenario, p.Load, kind, p.MaxPairs, p.MinFidelity, cfg.ClassicalLossProb, cfg.Seed, c.Seconds, c.Trials)
+		return
+	}
+	fmt.Printf("# netsim %s on %s: %d workload class(es) loss=%g seed=%d %.1fs simulated, %d trial(s)\n",
+		c.Topology, cfg.Scenario, len(c.Classes), cfg.ClassicalLossProb, cfg.Seed, c.Seconds, c.Trials)
+}
+
+// printSLO merges the per-trial class accounts in trial order and prints the
+// per-class SLO table; the merge and the max folds are deterministic, so the
+// table is identical at any -parallel or -shards level.
+func printSLO(c *scenario.Compiled, results []trialStats) {
+	merged := make([]*workload.ClassAccount, len(c.Classes))
+	for i := range merged {
+		merged[i] = &workload.ClassAccount{}
+	}
+	oldest := make([]float64, len(c.Classes))
+	for _, r := range results {
+		for ci, a := range r.accounts {
+			merged[ci].Merge(a)
+		}
+		for ci, w := range r.oldest {
+			if w > oldest[ci] {
+				oldest[ci] = w
+			}
+		}
+	}
+	duration := c.Seconds * float64(len(results))
+	table := experiments.Table{
+		ID:      "netsim-classes",
+		Caption: fmt.Sprintf("Per-class service levels, %d trial(s) merged", len(results)),
+		Columns: workload.SLOColumns,
+	}
+	for _, s := range workload.BuildSLO(c.Classes, merged, oldest, duration) {
+		table.Rows = append(table.Rows, s.Row())
+	}
+	fmt.Println(table.String())
 }

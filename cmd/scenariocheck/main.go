@@ -1,0 +1,69 @@
+// Command scenariocheck validates declarative scenario specs: each file must
+// parse strictly (unknown fields rejected), compile into a runnable
+// configuration, and sit in the canonical encoding so parse → re-emit is
+// byte-stable. CI runs it over every committed spec; -w rewrites files into
+// canonical form instead of failing on them.
+//
+// Examples:
+//
+//	scenariocheck scenarios/*.json        # validate (CI mode)
+//	scenariocheck -w scenarios/new.json   # canonicalize in place
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite files into canonical form instead of failing on drift")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: scenariocheck [-w] <spec.json>...")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		if err := check(path, *write); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		} else {
+			fmt.Printf("ok %s\n", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// check validates one spec file; with write, non-canonical files are
+// rewritten instead of reported.
+func check(path string, write bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sp, err := scenario.Parse(data, path)
+	if err != nil {
+		return err
+	}
+	if _, err := sp.Compile(); err != nil {
+		return err
+	}
+	canon, err := sp.Canonical()
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(data, canon) {
+		return nil
+	}
+	if write {
+		return os.WriteFile(path, canon, 0o644)
+	}
+	return fmt.Errorf("%s: not in canonical form (run scenariocheck -w to rewrite)", path)
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+)
+
+// NetworkInstance adapts a wired link-layer network into a benchmark
+// Instance: events and attempts from the engine, submitted requests and
+// delivered pairs (link OKs fire at both endpoints, so halved) from the
+// links.
+func NetworkInstance(nw *netsim.Network) Instance { return &netsimInstance{nw: nw} }
+
+// FromSpec turns a compiled declarative scenario into a benchmark scenario,
+// so any committed spec file can join the bench suite without a registry
+// entry. The harness's per-trial BuildConfig (seed, backend, shards, queue,
+// observability) overrides the spec's engine section — the bench CLI stays
+// in charge of those axes — while topology, hardware, protocol and traffic
+// come from the spec.
+func FromSpec(c *scenario.Compiled) (Scenario, error) {
+	if c.Service != nil {
+		return Scenario{}, fmt.Errorf("bench: scenario %q has a service section; bench runs link-layer specs only", c.Spec.Name)
+	}
+	return Scenario{
+		Name:        c.Spec.Name,
+		Description: c.Spec.Description,
+		SimSeconds:  c.Seconds,
+		Build: func(build BuildConfig) (Instance, error) {
+			cfg := c.Config
+			cfg.Seed = build.Seed
+			cfg.Backend = build.Backend
+			cfg.Shards = build.Shards
+			cfg.Queue = build.Queue
+			cfg.Trace = build.Trace
+			cfg.Metrics = build.Metrics
+			nw, err := netsim.NewNetwork(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := c.Attach(nw); err != nil {
+				return nil, err
+			}
+			return NetworkInstance(nw), nil
+		},
+	}, nil
+}

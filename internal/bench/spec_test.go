@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestFromSpecMatchesRegistryChain16 is the bench-side parity gate: the
+// committed chain-16 spec, run through FromSpec, must produce byte-identical
+// deterministic counters to the registered chain-16 scenario under the same
+// build configuration.
+func TestFromSpecMatchesRegistryChain16(t *testing.T) {
+	sp, err := scenario.Load("../../scenarios/chain16-bench.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specSc, err := FromSpec(compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regSc, ok := ScenarioByName("chain-16")
+	if !ok {
+		t.Fatal("registry has no chain-16 scenario")
+	}
+	if specSc.Name != regSc.Name {
+		t.Fatalf("spec scenario is named %q, registry %q", specSc.Name, regSc.Name)
+	}
+
+	opts := Options{SimSeconds: 0.2, Trials: 2, Seed: 1, Parallelism: 2}
+	specRes, err := Run(specSc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regRes, err := Run(regSc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(specRes.Totals, regRes.Totals) {
+		t.Errorf("totals differ: spec %+v != registry %+v", specRes.Totals, regRes.Totals)
+	}
+	if !reflect.DeepEqual(specRes.Rates, regRes.Rates) {
+		t.Errorf("rates differ: spec %+v != registry %+v", specRes.Rates, regRes.Rates)
+	}
+}
+
+// TestFromSpecRejectsServiceSpecs keeps bench link-layer only.
+func TestFromSpecRejectsServiceSpecs(t *testing.T) {
+	sp, err := scenario.Load("../../scenarios/e2e-chain5.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromSpec(compiled); err == nil {
+		t.Fatal("service spec accepted by FromSpec")
+	}
+}

@@ -1,0 +1,159 @@
+// Package cli holds the flag and environment plumbing shared by the repo's
+// commands (cmd/bench, cmd/netsim, cmd/e2e): engine selection
+// (-backend/-queue/-shards with their $REPRO_BACKEND/$REPRO_QUEUE
+// defaults), observability (-trace/-tracecap/-metrics), profiling
+// (-cpuprofile/-memprofile) and the artifact writing at exit. One
+// definition replaces the three per-command copies; flag names, defaults
+// and behavior are unchanged, and the few per-command wording differences
+// are passed in explicitly.
+package cli
+
+import (
+	"flag"
+
+	"repro/internal/obs"
+	"repro/internal/prof"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+)
+
+// The shared help texts. The trial-fan-out commands (cmd/netsim, cmd/e2e)
+// use these verbatim; cmd/bench overrides the wording where its artifacts
+// are per-scenario or its tables are counters.
+const (
+	// BackendHelp documents -backend for the trial-fan-out commands.
+	BackendHelp = "pair-state backend: dense (exact, default) or belldiag (O(1) fast path); $REPRO_BACKEND sets the default"
+	// QueueHelp documents -queue (identical across all commands).
+	QueueHelp = "event-queue discipline: heap (exact binary heap, default) or wheel (hierarchical timing wheel); $REPRO_QUEUE sets the default"
+	// ShardsTablesHelp documents -shards for commands printing tables.
+	ShardsTablesHelp = "worker shards of the simulation engine (<=1 serial; tables are identical at any shard count)"
+	// TraceHelp documents -trace for the trial-fan-out commands.
+	TraceHelp = "write a Chrome trace-event JSON flight recording of trial 0 to this file (view in ui.perfetto.dev)"
+	// TraceCapHelp documents -tracecap (identical across all commands).
+	TraceCapHelp = "per-ring record capacity of the flight recorder (rounded up to a power of two)"
+	// MetricsHelp documents -metrics for the trial-fan-out commands.
+	MetricsHelp = "write a JSON metrics snapshot of trial 0 to this file"
+	// CPUProfileHelp documents -cpuprofile (identical across all commands).
+	CPUProfileHelp = "write a pprof CPU profile of the whole run to this file"
+	// MemProfileHelp documents -memprofile (identical across all commands).
+	MemProfileHelp = "write a pprof heap profile taken at exit to this file"
+)
+
+// Config selects which shared flags a command registers and their
+// command-specific wording. Empty help fields take the package defaults;
+// ShardsHelp empty means the command has no -shards flag (the network layer
+// is serial-only).
+type Config struct {
+	BackendHelp string
+	ShardsHelp  string
+	TraceHelp   string
+	MetricsHelp string
+}
+
+// Flags holds the registered shared flag values; read them after
+// flag.Parse.
+type Flags struct {
+	// Backend/Queue/Shards select the engine (resolve with Resolve).
+	Backend *string
+	Queue   *string
+	Shards  *int
+
+	// TraceOut/TraceCap/MetricsOut attach the observability layer.
+	TraceOut   *string
+	TraceCap   *int
+	MetricsOut *string
+
+	// CPUProfile/MemProfile attach the host profiler.
+	CPUProfile *string
+	MemProfile *string
+}
+
+// Register installs the shared flags on fs with the given wording.
+func Register(fs *flag.FlagSet, cfg Config) *Flags {
+	if cfg.BackendHelp == "" {
+		cfg.BackendHelp = BackendHelp
+	}
+	if cfg.TraceHelp == "" {
+		cfg.TraceHelp = TraceHelp
+	}
+	if cfg.MetricsHelp == "" {
+		cfg.MetricsHelp = MetricsHelp
+	}
+	f := &Flags{
+		Backend:    fs.String("backend", "", cfg.BackendHelp),
+		Queue:      fs.String("queue", "", QueueHelp),
+		TraceOut:   fs.String("trace", "", cfg.TraceHelp),
+		TraceCap:   fs.Int("tracecap", 1<<16, TraceCapHelp),
+		MetricsOut: fs.String("metrics", "", cfg.MetricsHelp),
+		CPUProfile: fs.String("cpuprofile", "", CPUProfileHelp),
+		MemProfile: fs.String("memprofile", "", MemProfileHelp),
+	}
+	if cfg.ShardsHelp != "" {
+		f.Shards = fs.Int("shards", 0, cfg.ShardsHelp)
+	} else {
+		zero := 0
+		f.Shards = &zero
+	}
+	return f
+}
+
+// Resolved holds the parsed engine selections.
+type Resolved struct {
+	Backend quantum.Backend
+	Queue   sim.QueueKind
+	Shards  int
+}
+
+// Resolve parses the backend and queue names (falling back to their
+// $REPRO_* env defaults when the flags are empty).
+func (f *Flags) Resolve() (Resolved, error) {
+	be, err := quantum.ResolveBackend(*f.Backend)
+	if err != nil {
+		return Resolved{}, err
+	}
+	qk, err := sim.ResolveQueue(*f.Queue)
+	if err != nil {
+		return Resolved{}, err
+	}
+	return Resolved{Backend: be, Queue: qk, Shards: *f.Shards}, nil
+}
+
+// Observability builds the trial-0 tracer and metrics registry from the
+// flags: nil when the corresponding output flag is unset, a tracer sized
+// max(1, shards) shard rings of -tracecap records otherwise.
+func (f *Flags) Observability() (*obs.Tracer, *obs.Registry) {
+	var tracer *obs.Tracer
+	var registry *obs.Registry
+	if *f.TraceOut != "" {
+		shards := *f.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		tracer = obs.NewTracer(shards, *f.TraceCap)
+	}
+	if *f.MetricsOut != "" {
+		registry = obs.NewRegistry()
+	}
+	return tracer, registry
+}
+
+// StartCPU starts the CPU profile when -cpuprofile is set; call the
+// returned stop function before writing artifacts.
+func (f *Flags) StartCPU() (stop func(), err error) {
+	return prof.StartCPU(*f.CPUProfile)
+}
+
+// WriteArtifacts writes the flight recording, the metrics snapshot (at
+// simulated end time end, only when a registry was attached) and the heap
+// profile, honouring the corresponding output flags.
+func (f *Flags) WriteArtifacts(tracer *obs.Tracer, registry *obs.Registry, end sim.Time) error {
+	if err := prof.WriteTrace(*f.TraceOut, tracer); err != nil {
+		return err
+	}
+	if registry != nil {
+		if err := prof.WriteMetrics(*f.MetricsOut, registry, end); err != nil {
+			return err
+		}
+	}
+	return prof.WriteHeap(*f.MemProfile)
+}

@@ -255,7 +255,7 @@ type Network struct {
 	// linksByEdge indexes the links by their normalized endpoints.
 	linksByEdge map[Edge]*Link
 
-	traffic *Traffic
+	traffic trafficGen
 	started bool
 
 	// Shared observability handles, all nil when Config.Trace/Metrics are
@@ -594,8 +594,9 @@ func (nw *Network) Attempts() uint64 {
 // AttachTraffic installs a Poisson traffic generator; it starts and stops
 // with the network.
 func (nw *Network) AttachTraffic(cfg TrafficConfig) *Traffic {
-	nw.traffic = NewTraffic(nw, cfg)
-	return nw.traffic
+	t := NewTraffic(nw, cfg)
+	nw.traffic = t
+	return t
 }
 
 // Start launches the periodic MHP cycles of every link, the queue-occupancy

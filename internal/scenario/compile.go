@@ -1,0 +1,432 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/egp"
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/nv"
+	"repro/internal/quantum"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Compiled is a fully resolved scenario: every default filled in, every name
+// parsed, ready to instantiate. The base Config carries the spec's own seed;
+// trial harnesses overwrite Seed (and Trace/Metrics) per instance.
+type Compiled struct {
+	// Spec is the source spec (unmodified).
+	Spec *Spec
+	// Topology is the resolved node graph.
+	Topology netsim.Spec
+	// Config is the resolved link-layer configuration.
+	Config netsim.Config
+	// Seconds/Trials are the run window (defaults 1 s × 3 trials).
+	Seconds float64
+	Trials  int
+
+	// Poisson is the legacy single-class stream (nil unless configured).
+	Poisson *netsim.TrafficConfig
+	// Classes is the multi-class workload (empty unless configured).
+	Classes []workload.ClassSpec
+	// Standing are the per-link build-time requests.
+	Standing []StandingRequest
+
+	// Service is the end-to-end section (nil for link-layer scenarios).
+	Service *CompiledService
+}
+
+// StandingRequest is one resolved standing request, submitted on every link
+// from its A endpoint before the run starts.
+type StandingRequest struct {
+	Pairs       int
+	MinFidelity float64
+	Priority    int
+}
+
+// CompiledService is the resolved end-to-end section.
+type CompiledService struct {
+	Src, Dst         int
+	Cost             string
+	SwapGateFidelity float64
+	Traffic          network.TrafficConfig
+	StandingPairs    int
+}
+
+// Compile resolves the spec into runnable configuration, validating every
+// section. The returned Compiled is independent of the spec (mutating one
+// does not affect the other).
+func (s *Spec) Compile() (*Compiled, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("scenario needs a name")
+	}
+	c := &Compiled{Spec: s, Seconds: 1, Trials: 3}
+
+	topo, err := s.Topology.resolve()
+	if err != nil {
+		return nil, sectionErr(s.Name, "topology", err)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, sectionErr(s.Name, "topology", err)
+	}
+	c.Topology = topo
+
+	hw := s.Hardware
+	if hw == nil {
+		hw = &Hardware{}
+	}
+	scen := nv.ScenarioID(hw.Scenario)
+	if hw.Scenario == "" {
+		scen = nv.ScenarioLab
+	}
+	switch scen {
+	case nv.ScenarioLab, nv.ScenarioQL2020:
+	default:
+		return nil, sectionErr(s.Name, "hardware", fmt.Errorf("unknown scenario %q (Lab|QL2020)", hw.Scenario))
+	}
+	backend, err := quantum.ResolveBackend(hw.Backend)
+	if err != nil {
+		return nil, sectionErr(s.Name, "hardware", err)
+	}
+
+	cfg := netsim.DefaultConfig(topo, scen)
+	cfg.Backend = backend
+	if hw.MemoryQubits < 0 {
+		return nil, sectionErr(s.Name, "hardware", fmt.Errorf("negative memory_qubits"))
+	}
+	if hw.MemoryQubits > 0 || hw.IdealMemory {
+		p := nv.NewPlatform(scen)
+		if hw.MemoryQubits > 0 {
+			p.MemoryQubits = hw.MemoryQubits
+		}
+		if hw.IdealMemory {
+			// Generation and gate noise stay; stored qubits stop decaying
+			// (the closed-form validation hardware of the network tests).
+			p.Gates.ElectronT1 = math.Inf(1)
+			p.Gates.ElectronT2 = math.Inf(1)
+			p.Gates.CarbonT1 = math.Inf(1)
+			p.Gates.CarbonT2 = math.Inf(1)
+			p.CarbonCoupling = nv.CarbonCoupling{}
+		}
+		cfg.Platform = p
+	}
+
+	eng := s.Engine
+	if eng == nil {
+		eng = &Engine{}
+	}
+	if eng.Seed != 0 {
+		cfg.Seed = eng.Seed
+	}
+	queue, err := sim.ResolveQueue(eng.Queue)
+	if err != nil {
+		return nil, sectionErr(s.Name, "engine", err)
+	}
+	cfg.Queue = queue
+	if eng.Shards < 0 {
+		return nil, sectionErr(s.Name, "engine", fmt.Errorf("negative shards"))
+	}
+	cfg.Shards = eng.Shards
+
+	if p := s.Protocol; p != nil {
+		if p.Scheduler != "" {
+			switch p.Scheduler {
+			case "FCFS", "LowerWFQ", "HigherWFQ":
+				cfg.Scheduler = p.Scheduler
+			default:
+				return nil, sectionErr(s.Name, "protocol", fmt.Errorf("unknown scheduler %q (FCFS|LowerWFQ|HigherWFQ)", p.Scheduler))
+			}
+		}
+		if p.ClassicalLoss < 0 || p.ClassicalLoss >= 1 {
+			return nil, sectionErr(s.Name, "protocol", fmt.Errorf("classical_loss %g out of [0,1)", p.ClassicalLoss))
+		}
+		cfg.ClassicalLossProb = p.ClassicalLoss
+		if p.MaxQueueLen < 0 {
+			return nil, sectionErr(s.Name, "protocol", fmt.Errorf("negative max_queue_len"))
+		}
+		if p.MaxQueueLen > 0 {
+			cfg.MaxQueueLen = p.MaxQueueLen
+		}
+		if p.StorageMargin != nil {
+			if *p.StorageMargin < 0 {
+				return nil, sectionErr(s.Name, "protocol", fmt.Errorf("negative storage_margin"))
+			}
+			cfg.StorageMargin = *p.StorageMargin
+		}
+		if p.EmissionMultiplexing != nil {
+			cfg.EmissionMultiplexing = *p.EmissionMultiplexing
+		}
+		cfg.HoldPairs = p.HoldPairs
+	}
+
+	if r := s.Run; r != nil {
+		if r.Seconds < 0 || r.Trials < 0 {
+			return nil, sectionErr(s.Name, "run", fmt.Errorf("negative seconds or trials"))
+		}
+		if r.Seconds > 0 {
+			c.Seconds = r.Seconds
+		}
+		if r.Trials > 0 {
+			c.Trials = r.Trials
+		}
+	}
+
+	if t := s.Traffic; t != nil {
+		if t.Poisson != nil && len(t.Classes) > 0 {
+			return nil, sectionErr(s.Name, "traffic", fmt.Errorf("poisson and classes are mutually exclusive (model the stream as a class instead)"))
+		}
+		if t.Poisson != nil {
+			tc, err := t.Poisson.resolve()
+			if err != nil {
+				return nil, sectionErr(s.Name, "traffic.poisson", err)
+			}
+			c.Poisson = &tc
+		}
+		names := make(map[string]bool, len(t.Classes))
+		for i, cl := range t.Classes {
+			spec, err := cl.resolve()
+			if err != nil {
+				return nil, sectionErr(s.Name, fmt.Sprintf("traffic.classes[%d]", i), err)
+			}
+			if names[spec.Name] {
+				return nil, sectionErr(s.Name, fmt.Sprintf("traffic.classes[%d]", i), fmt.Errorf("duplicate class name %q", spec.Name))
+			}
+			names[spec.Name] = true
+			c.Classes = append(c.Classes, spec)
+		}
+		for i, st := range t.Standing {
+			req, err := st.resolve()
+			if err != nil {
+				return nil, sectionErr(s.Name, fmt.Sprintf("traffic.standing[%d]", i), err)
+			}
+			c.Standing = append(c.Standing, req)
+		}
+	}
+
+	if sv := s.Service; sv != nil {
+		res, err := sv.resolve(topo.Nodes)
+		if err != nil {
+			return nil, sectionErr(s.Name, "service", err)
+		}
+		c.Service = &res
+		// The swap engine consumes held link pairs, exactly as cmd/e2e sets
+		// up the link layer.
+		cfg.HoldPairs = true
+		if cfg.Shards > 1 {
+			return nil, sectionErr(s.Name, "service", fmt.Errorf("the network layer is serial-only; drop engine.shards"))
+		}
+	}
+
+	c.Config = cfg
+	return c, nil
+}
+
+// resolve maps the topology section onto the netsim generators.
+func (t Topology) resolve() (netsim.Spec, error) {
+	if t.Kind == "dragonfly" && (t.Routers != 0 || t.Groups != 0) {
+		if t.Routers < 2 || t.Groups < 2 {
+			return netsim.Spec{}, fmt.Errorf("dragonfly needs routers >= 2 and groups >= 2, got %d/%d", t.Routers, t.Groups)
+		}
+		if t.Nodes != 0 && t.Nodes != t.Routers*t.Groups {
+			return netsim.Spec{}, fmt.Errorf("nodes %d contradicts routers*groups = %d", t.Nodes, t.Routers*t.Groups)
+		}
+		return netsim.Dragonfly(t.Routers, t.Groups), nil
+	}
+	if t.Kind != "dragonfly" && (t.Routers != 0 || t.Groups != 0) {
+		return netsim.Spec{}, fmt.Errorf("routers/groups only apply to kind dragonfly")
+	}
+	return netsim.SpecFromFlags(t.Kind, t.Nodes, t.Edges)
+}
+
+// resolve fills the legacy stream's defaults, mirroring netsim.NewTraffic.
+func (p Poisson) resolve() (netsim.TrafficConfig, error) {
+	if p.Load <= 0 {
+		return netsim.TrafficConfig{}, fmt.Errorf("load must be positive")
+	}
+	if p.MaxPairs < 0 || p.MaxTimeS < 0 {
+		return netsim.TrafficConfig{}, fmt.Errorf("negative max_pairs or max_time_s")
+	}
+	tc := netsim.TrafficConfig{
+		Load:        p.Load,
+		MaxPairs:    p.MaxPairs,
+		MinFidelity: p.MinFidelity,
+		Keep:        p.Keep,
+		MaxTime:     seconds(p.MaxTimeS),
+	}
+	if tc.MaxPairs == 0 {
+		tc.MaxPairs = 1
+	}
+	if tc.MinFidelity == 0 {
+		tc.MinFidelity = 0.64
+	}
+	return tc, nil
+}
+
+// resolve maps one class onto the workload engine's spec, filling defaults
+// and validating.
+func (cl Class) resolve() (workload.ClassSpec, error) {
+	prio, err := workload.ParsePriority(cl.Priority)
+	if err != nil {
+		return workload.ClassSpec{}, err
+	}
+	origin, err := workload.ParseOrigin(cl.Origin)
+	if err != nil {
+		return workload.ClassSpec{}, err
+	}
+	spec := workload.ClassSpec{
+		Name:        cl.Name,
+		Priority:    prio,
+		MinPairs:    cl.MinPairs,
+		MaxPairs:    cl.MaxPairs,
+		FixedPairs:  cl.FixedPairs,
+		MinFidelity: cl.MinFidelity,
+		Deadline:    seconds(cl.DeadlineS),
+		Origin:      origin,
+		Arrival: workload.Arrival{
+			Kind:            workload.ArrivalKind(cl.Arrival.Kind),
+			Load:            cl.Arrival.Load,
+			Users:           cl.Arrival.Users,
+			PerUserRate:     cl.Arrival.PerUserRate,
+			BurstMultiplier: cl.Arrival.BurstMultiplier,
+			MeanBurst:       seconds(cl.Arrival.MeanBurstS),
+			MeanIdle:        seconds(cl.Arrival.MeanIdleS),
+			Period:          seconds(cl.Arrival.PeriodS),
+			Sessions:        cl.Arrival.Sessions,
+			ThinkTime:       seconds(cl.Arrival.ThinkTimeS),
+		},
+	}
+	for _, ph := range cl.Arrival.Phases {
+		spec.Arrival.Phases = append(spec.Arrival.Phases, workload.Phase{Fraction: ph.Fraction, Multiplier: ph.Multiplier})
+	}
+	if spec.FixedPairs == 0 {
+		if spec.MinPairs == 0 {
+			spec.MinPairs = 1
+		}
+		if spec.MaxPairs == 0 {
+			spec.MaxPairs = spec.MinPairs
+		}
+	}
+	if spec.MinFidelity == 0 {
+		spec.MinFidelity = 0.64
+	}
+	if err := spec.Validate(); err != nil {
+		return workload.ClassSpec{}, err
+	}
+	return spec, nil
+}
+
+// resolve fills one standing request's defaults.
+func (st Standing) resolve() (StandingRequest, error) {
+	if st.Pairs <= 0 {
+		return StandingRequest{}, fmt.Errorf("standing request needs pairs > 0")
+	}
+	prio := egp.PriorityMD
+	if st.Priority != "" {
+		p, err := workload.ParsePriority(st.Priority)
+		if err != nil {
+			return StandingRequest{}, err
+		}
+		prio = p
+	}
+	fmin := st.MinFidelity
+	if fmin == 0 {
+		fmin = 0.64
+	}
+	if fmin < 0 || fmin > 1 {
+		return StandingRequest{}, fmt.Errorf("min_fidelity %g out of (0,1]", fmin)
+	}
+	return StandingRequest{Pairs: st.Pairs, MinFidelity: fmin, Priority: prio}, nil
+}
+
+// resolve fills the service section's defaults, mirroring cmd/e2e's flags.
+func (sv Service) resolve(nodes int) (CompiledService, error) {
+	// Dst omitted or negative selects the last node, mirroring cmd/e2e's
+	// -dst default; an explicit dst equal to src is rejected below.
+	dst := nodes - 1
+	if sv.Dst != nil && *sv.Dst >= 0 {
+		dst = *sv.Dst
+	}
+	if sv.Src < 0 || sv.Src >= nodes || dst < 0 || dst >= nodes || sv.Src == dst {
+		return CompiledService{}, fmt.Errorf("bad src/dst pair %d-%d for %d nodes", sv.Src, dst, nodes)
+	}
+	cost := sv.Cost
+	if cost == "" {
+		cost = "hops"
+	}
+	switch cost {
+	case "hops", "fidelity", "rate":
+	default:
+		return CompiledService{}, fmt.Errorf("unknown cost %q (hops|fidelity|rate)", cost)
+	}
+	gate := sv.SwapGateFidelity
+	if gate == 0 {
+		gate = 1
+	}
+	if gate <= 0 || gate > 1 {
+		return CompiledService{}, fmt.Errorf("swap_gate_fidelity %g out of (0,1]", gate)
+	}
+	res := CompiledService{
+		Src: sv.Src, Dst: dst,
+		Cost:             cost,
+		SwapGateFidelity: gate,
+		StandingPairs:    sv.StandingPairs,
+		Traffic: network.TrafficConfig{
+			Pairs:       [][2]int{{sv.Src, dst}},
+			Load:        sv.Load,
+			MaxPairs:    sv.MaxPairs,
+			MinFidelity: sv.MinFidelity,
+			MaxTime:     seconds(sv.DeadlineS),
+		},
+	}
+	if res.Traffic.Load == 0 {
+		res.Traffic.Load = 0.3
+	}
+	if res.Traffic.MaxPairs == 0 {
+		res.Traffic.MaxPairs = 1
+	}
+	if res.Traffic.MinFidelity == 0 {
+		res.Traffic.MinFidelity = 0.35
+	}
+	if res.Traffic.Load < 0 || res.Traffic.MaxPairs < 0 || sv.StandingPairs < 0 || sv.DeadlineS < 0 {
+		return CompiledService{}, fmt.Errorf("negative load, max_pairs, standing_pairs or deadline_s")
+	}
+	return res, nil
+}
+
+// Attach installs the compiled traffic on a freshly built network: the
+// single-class Poisson generator or the multi-class workload engine, then
+// the standing requests on every link in link order (from the A endpoint,
+// matching the bench primer). The returned engine is nil for pure Poisson or
+// traffic-less scenarios.
+func (c *Compiled) Attach(nw *netsim.Network) (*netsim.MultiTraffic, error) {
+	var mt *netsim.MultiTraffic
+	if c.Poisson != nil {
+		nw.AttachTraffic(*c.Poisson)
+	}
+	if len(c.Classes) > 0 {
+		var err error
+		mt, err = nw.AttachWorkload(c.Classes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range c.Standing {
+		for _, l := range nw.Links {
+			_, code := nw.Submit(l, "A", egp.CreateRequest{
+				NumPairs:    st.Pairs,
+				Keep:        st.Priority != egp.PriorityMD,
+				MinFidelity: st.MinFidelity,
+				Priority:    st.Priority,
+				PurposeID:   1,
+				Consecutive: st.Priority != egp.PriorityCK,
+			})
+			if code != wire.ErrNone {
+				return nil, fmt.Errorf("scenario %q: standing request on link %s rejected: %s", c.Spec.Name, l.Name, code)
+			}
+		}
+	}
+	return mt, nil
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Load reads and parses a scenario file. Errors carry file:line:column
+// context plus the offending source line.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data, path)
+}
+
+// Parse parses one scenario document; name labels the source in errors
+// (usually the file path). Unknown fields anywhere in the document, type
+// mismatches, syntax errors and trailing content are all rejected.
+func Parse(data []byte, name string) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, contextualize(name, data, err)
+	}
+	// A spec file is exactly one document: trailing JSON means a stray
+	// paste, which silently dropping would mask.
+	var extra json.RawMessage
+	switch err := dec.Decode(&extra); {
+	case err == nil:
+		return nil, fmt.Errorf("%s: trailing content after the scenario document", name)
+	case !errors.Is(err, io.EOF):
+		return nil, contextualize(name, data, err)
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("%s: scenario needs a name", name)
+	}
+	return &s, nil
+}
+
+// Canonical renders the spec in its canonical encoding: two-space-indented
+// JSON with a trailing newline, fields in declaration order, zero-valued
+// optional fields omitted. Committed spec files are kept in this form, so
+// Parse followed by Canonical reproduces them byte for byte.
+func (s *Spec) Canonical() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// unknownFieldRE extracts the field name from encoding/json's unknown-field
+// error, which carries no position information of its own.
+var unknownFieldRE = regexp.MustCompile(`json: unknown field "([^"]+)"`)
+
+// contextualize rewrites a decode error with line/column context from the
+// source bytes.
+func contextualize(name string, data []byte, err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		line, col, text := locate(data, syn.Offset)
+		return fmt.Errorf("%s:%d:%d: %v\n  %s", name, line, col, syn, text)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		line, col, text := locate(data, typ.Offset)
+		field := typ.Field
+		if field == "" {
+			field = "value"
+		}
+		return fmt.Errorf("%s:%d:%d: %s cannot hold a JSON %s\n  %s", name, line, col, field, typ.Value, text)
+	}
+	if m := unknownFieldRE.FindStringSubmatch(err.Error()); m != nil {
+		// The decoder reports only the name; locate its first occurrence as
+		// a quoted key for the context line.
+		if off := bytes.Index(data, []byte(`"`+m[1]+`"`)); off >= 0 {
+			line, col, text := locate(data, int64(off)+1)
+			return fmt.Errorf("%s:%d:%d: unknown field %q\n  %s", name, line, col, m[1], text)
+		}
+		return fmt.Errorf("%s: unknown field %q", name, m[1])
+	}
+	return fmt.Errorf("%s: %v", name, err)
+}
+
+// locate maps a byte offset to 1-based line/column plus the trimmed source
+// line, for error context.
+func locate(data []byte, offset int64) (line, col int, text string) {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	head := data[:offset]
+	line = 1 + bytes.Count(head, []byte{'\n'})
+	lineStart := bytes.LastIndexByte(head, '\n') + 1
+	col = int(offset) - lineStart + 1
+	lineEnd := bytes.IndexByte(data[lineStart:], '\n')
+	if lineEnd < 0 {
+		lineEnd = len(data)
+	} else {
+		lineEnd += lineStart
+	}
+	return line, col, strings.TrimSpace(string(data[lineStart:lineEnd]))
+}

@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/egp"
+	"repro/internal/sim"
+)
+
+// TestBurstyStreamAverageRate checks the thinning construction: whatever the
+// burst shape, the time-averaged arrival rate must track the configured
+// average (the candidate chain runs at the peak rate and acceptance exactly
+// compensates).
+func TestBurstyStreamAverageRate(t *testing.T) {
+	s := sim.New(9)
+	a := Arrival{
+		Kind:            ArrivalBursty,
+		Load:            0.5, // carried by the spec; the stream takes the resolved rate below
+		BurstMultiplier: 8,
+		MeanBurst:       50 * sim.Millisecond,
+		MeanIdle:        450 * sim.Millisecond,
+	}
+	const avgRate = 2000.0
+	stream := NewBurstyStream(s, avgRate, a, func() {})
+	if got := stream.Rate(); got != avgRate {
+		t.Fatalf("Rate() = %g, want %g", got, avgRate)
+	}
+	stream.Start()
+	const seconds = 20.0
+	_ = s.RunFor(sim.DurationSeconds(seconds))
+	got := float64(stream.Arrivals()) / seconds
+	if math.Abs(got-avgRate)/avgRate > 0.1 {
+		t.Fatalf("bursty stream averaged %.0f arrivals/s over %gs, want ~%g", got, seconds, avgRate)
+	}
+}
+
+// TestBurstyStreamModulates checks that the burst state actually raises the
+// instantaneous rate: with long sojourns the arrivals seen while the stream
+// reports the burst state must be far denser than in the idle state.
+func TestBurstyStreamModulates(t *testing.T) {
+	s := sim.New(4)
+	a := Arrival{
+		Kind:            ArrivalBursty,
+		BurstMultiplier: 10,
+		MeanBurst:       200 * sim.Millisecond,
+		MeanIdle:        200 * sim.Millisecond,
+	}
+	var inBurst, inIdle uint64
+	var stream *BurstyStream
+	stream = NewBurstyStream(s, 1000, a, func() {
+		if stream.State() == 1 {
+			inBurst++
+		} else {
+			inIdle++
+		}
+	})
+	stream.Start()
+	_ = s.RunFor(sim.DurationSeconds(10))
+	if inBurst == 0 || inIdle == 0 {
+		t.Fatalf("both states must see arrivals, got burst=%d idle=%d", inBurst, inIdle)
+	}
+	// Equal sojourns at multiplier 10: the burst state should carry roughly
+	// 10x the idle arrivals; 3x is a loose floor.
+	if float64(inBurst) < 3*float64(inIdle) {
+		t.Fatalf("burst state not denser than idle: burst=%d idle=%d", inBurst, inIdle)
+	}
+}
+
+// TestDiurnalStreamFollowsPhases checks the phase schedule: a silent phase
+// (multiplier 0) must see no arrivals, and the loaded phases must track
+// their multipliers.
+func TestDiurnalStreamFollowsPhases(t *testing.T) {
+	s := sim.New(12)
+	period := sim.DurationSeconds(1)
+	a := Arrival{
+		Kind:   ArrivalDiurnal,
+		Period: period,
+		Phases: []Phase{
+			{Fraction: 0.5, Multiplier: 0},
+			{Fraction: 0.5, Multiplier: 2},
+		},
+	}
+	counts := [2]uint64{}
+	stream := NewDiurnalStream(s, 1000, a, func() {
+		into := int64(s.Now()) % int64(period)
+		if into < int64(period)/2 {
+			counts[0]++
+		} else {
+			counts[1]++
+		}
+	})
+	stream.Start()
+	const seconds = 10.0
+	_ = s.RunFor(sim.DurationSeconds(seconds))
+	if counts[0] != 0 {
+		t.Fatalf("silent phase saw %d arrivals", counts[0])
+	}
+	// All arrivals land in the second half; the time average must still be
+	// the configured 1000/s.
+	got := float64(counts[1]) / seconds
+	if math.Abs(got-1000)/1000 > 0.1 {
+		t.Fatalf("diurnal stream averaged %.0f arrivals/s, want ~1000", got)
+	}
+}
+
+// TestNewProcessDispatch checks the factory contract: kinds map to their
+// stream types, closed-loop maps to nil, and a non-positive rate never
+// fires.
+func TestNewProcessDispatch(t *testing.T) {
+	s := sim.New(1)
+	bursty := Arrival{Kind: ArrivalBursty, BurstMultiplier: 2, MeanBurst: sim.Second, MeanIdle: sim.Second}
+	if _, ok := NewProcess(s, 1, bursty, func() {}).(*BurstyStream); !ok {
+		t.Error("bursty kind did not build a BurstyStream")
+	}
+	diurnal := Arrival{Kind: ArrivalDiurnal, Period: sim.Second, Phases: []Phase{{Fraction: 1, Multiplier: 1}}}
+	if _, ok := NewProcess(s, 1, diurnal, func() {}).(*DiurnalStream); !ok {
+		t.Error("diurnal kind did not build a DiurnalStream")
+	}
+	if _, ok := NewProcess(s, 1, Arrival{Kind: ArrivalPoisson}, func() {}).(*PoissonStream); !ok {
+		t.Error("poisson kind did not build a PoissonStream")
+	}
+	if p := NewProcess(s, 1, Arrival{Kind: ArrivalClosed}, func() {}); p != nil {
+		t.Error("closed kind must return nil (sessions are service-driven)")
+	}
+
+	dead := NewProcess(s, 0, bursty, func() { t.Error("zero-rate process fired") })
+	dead.Start()
+	_ = s.RunFor(sim.DurationSeconds(1))
+}
+
+// TestArrivalValidation sweeps the arrival and class validation rules.
+func TestArrivalValidation(t *testing.T) {
+	valid := ClassSpec{
+		Name:     "ok",
+		Priority: egp.PriorityMD,
+		Arrival:  Arrival{Kind: ArrivalPoisson, Load: 0.5},
+		MinPairs: 1, MaxPairs: 2,
+		MinFidelity: 0.64,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid class rejected: %v", err)
+	}
+
+	cases := []struct {
+		label  string
+		mutate func(*ClassSpec)
+		want   string
+	}{
+		{"no name", func(c *ClassSpec) { c.Name = "" }, "name"},
+		{"bad priority", func(c *ClassSpec) { c.Priority = 9 }, "priority"},
+		{"bad pair range", func(c *ClassSpec) { c.MinPairs = 3; c.MaxPairs = 1 }, "pair range"},
+		{"bad fidelity", func(c *ClassSpec) { c.MinFidelity = 1.5 }, "fidelity"},
+		{"negative deadline", func(c *ClassSpec) { c.Deadline = -1 }, "deadline"},
+		{"no intensity", func(c *ClassSpec) { c.Arrival.Load = 0 }, "intensity"},
+		{"two intensities", func(c *ClassSpec) { c.Arrival.Users = 5; c.Arrival.PerUserRate = 1 }, "intensity"},
+		{"sessions on open loop", func(c *ClassSpec) { c.Arrival.Sessions = 3 }, "closed-loop"},
+		{"unknown kind", func(c *ClassSpec) { c.Arrival.Kind = "fractal" }, "unknown arrival kind"},
+		{"bursty multiplier", func(c *ClassSpec) {
+			c.Arrival.Kind = ArrivalBursty
+			c.Arrival.BurstMultiplier = 0.5
+			c.Arrival.MeanBurst, c.Arrival.MeanIdle = sim.Second, sim.Second
+		}, "burst_multiplier"},
+		{"bursty sojourns", func(c *ClassSpec) {
+			c.Arrival.Kind = ArrivalBursty
+			c.Arrival.BurstMultiplier = 2
+		}, "sojourn"},
+		{"diurnal fractions", func(c *ClassSpec) {
+			c.Arrival.Kind = ArrivalDiurnal
+			c.Arrival.Period = sim.Second
+			c.Arrival.Phases = []Phase{{Fraction: 0.5, Multiplier: 1}}
+		}, "sum to 1"},
+		{"diurnal all silent", func(c *ClassSpec) {
+			c.Arrival.Kind = ArrivalDiurnal
+			c.Arrival.Period = sim.Second
+			c.Arrival.Phases = []Phase{{Fraction: 1, Multiplier: 0}}
+		}, "positive multiplier"},
+		{"closed needs sessions", func(c *ClassSpec) {
+			c.Arrival = Arrival{Kind: ArrivalClosed, ThinkTime: sim.Second}
+		}, "sessions"},
+		{"closed needs think time", func(c *ClassSpec) {
+			c.Arrival = Arrival{Kind: ArrivalClosed, Sessions: 3}
+		}, "think_time"},
+	}
+	for _, tc := range cases {
+		c := valid
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.label, err, tc.want)
+		}
+	}
+}
+
+// TestAverageMultiplier pins the time-average algebra the thinning streams
+// rely on.
+func TestAverageMultiplier(t *testing.T) {
+	bursty := Arrival{Kind: ArrivalBursty, BurstMultiplier: 9, MeanBurst: sim.Second, MeanIdle: 3 * sim.Second}
+	if got, want := bursty.AverageMultiplier(), 3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("bursty average multiplier = %g, want %g", got, want)
+	}
+	diurnal := Arrival{Kind: ArrivalDiurnal, Phases: []Phase{
+		{Fraction: 0.25, Multiplier: 0},
+		{Fraction: 0.75, Multiplier: 2},
+	}}
+	if got, want := diurnal.AverageMultiplier(), 1.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("diurnal average multiplier = %g, want %g", got, want)
+	}
+	if got := (Arrival{Kind: ArrivalPoisson}).AverageMultiplier(); got != 1 {
+		t.Errorf("poisson average multiplier = %g, want 1", got)
+	}
+}
+
+// TestBuildSLO checks the report algebra: throughput, timeout rate,
+// percentiles and the starvation flag.
+func TestBuildSLO(t *testing.T) {
+	classes := []ClassSpec{
+		{Name: "served", Priority: egp.PriorityMD},
+		{Name: "starved", Priority: egp.PriorityNL},
+	}
+	served := &ClassAccount{Offered: 10, Pairs: 20, Completed: 6, TimedOut: 2}
+	for i := 1; i <= 100; i++ {
+		served.TTP.Add(float64(i) / 100)
+	}
+	starved := &ClassAccount{Offered: 5}
+	slos := BuildSLO(classes, []*ClassAccount{served, starved}, []float64{0, 1.25}, 2)
+
+	s := slos[0]
+	if s.Throughput != 10 {
+		t.Errorf("throughput = %g, want 10 pairs/s", s.Throughput)
+	}
+	if s.TimeoutRate != 0.25 {
+		t.Errorf("timeout rate = %g, want 0.25", s.TimeoutRate)
+	}
+	if s.TTPP50 != 0.5 || s.TTPP99 != 0.99 {
+		t.Errorf("TTP percentiles = %g/%g, want 0.5/0.99", s.TTPP50, s.TTPP99)
+	}
+	if s.Outstanding != 2 {
+		t.Errorf("outstanding = %d, want 2", s.Outstanding)
+	}
+	if s.Starved {
+		t.Error("served class flagged as starved")
+	}
+	if !slos[1].Starved {
+		t.Error("starved class not flagged")
+	}
+	if slos[1].OldestWaitSeconds != 1.25 {
+		t.Errorf("oldest wait = %g, want 1.25", slos[1].OldestWaitSeconds)
+	}
+	if got := len(slos[0].Row()); got != len(SLOColumns) {
+		t.Errorf("Row has %d cells for %d columns", got, len(SLOColumns))
+	}
+}

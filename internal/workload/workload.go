@@ -27,8 +27,9 @@ const (
 	LoadUltra LoadLevel = 1.50
 )
 
-// LoadName renders the paper's name of a load level.
-func LoadName(l LoadLevel) string {
+// String renders the paper's name of a load level (Low, High or Ultra),
+// falling back to the numeric fraction for non-standard levels.
+func (l LoadLevel) String() string {
 	switch l {
 	case LoadLow:
 		return "Low"
@@ -36,10 +37,12 @@ func LoadName(l LoadLevel) string {
 		return "High"
 	case LoadUltra:
 		return "Ultra"
-	default:
-		return fmt.Sprintf("f=%.2f", float64(l))
 	}
+	return fmt.Sprintf("f=%.2f", float64(l))
 }
+
+// LoadName renders the paper's name of a load level.
+func LoadName(l LoadLevel) string { return l.String() }
 
 // Origin selects where CREATE requests originate.
 type Origin int
