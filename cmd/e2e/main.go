@@ -82,6 +82,11 @@ func runTrial(c *scenario.Compiled, trial int, trace *obs.Tracer, registry *obs.
 	if err != nil {
 		return trialStats{}, err
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Schedule(nw); err != nil {
+			return trialStats{}, err
+		}
+	}
 	p, err := svc.Router().Path(sv.Src, sv.Dst)
 	if err != nil {
 		return trialStats{}, err
@@ -112,6 +117,9 @@ func statsRow(s network.PathStats) []string {
 		fmt.Sprintf("%d", s.Requests),
 		fmt.Sprintf("%d", s.Completed),
 		fmt.Sprintf("%d", s.Failed),
+		fmt.Sprintf("%d", s.NoRoute),
+		fmt.Sprintf("%d", s.Reroutes),
+		fmt.Sprintf("%d", s.Retries),
 		fmt.Sprintf("%d", s.Pairs),
 		fmt.Sprintf("%.3f", s.OKRate),
 		fmt.Sprintf("%.4f", s.Fidelity),
@@ -124,7 +132,7 @@ func statsRow(s network.PathStats) []string {
 	}
 }
 
-var statsColumns = []string{"path", "hops", "requests", "completed", "failed", "pairs", "throughput(1/s)", "fidelity", "predicted", "swap_p50(s)", "swap_p99(s)", "e2e_p50(s)", "e2e_p99(s)", "ttp_p99(s)"}
+var statsColumns = []string{"path", "hops", "requests", "completed", "failed", "noroute", "reroutes", "retries", "pairs", "throughput(1/s)", "fidelity", "predicted", "swap_p50(s)", "swap_p99(s)", "e2e_p50(s)", "e2e_p99(s)", "ttp_p99(s)"}
 
 // fail prints to stderr and exits with a usage error.
 func fail(err error) {

@@ -98,10 +98,13 @@ func statsRow(s netsim.LinkStats) []string {
 		fmt.Sprintf("%.4f", s.LatencyP99),
 		fmt.Sprintf("%.2f", s.QueueMean),
 		fmt.Sprintf("%.0f", s.QueueMax),
+		fmt.Sprintf("%d", s.Downs),
+		fmt.Sprintf("%.4f", s.DowntimeSeconds),
+		fmt.Sprintf("%.4f", s.RecoverySeconds),
 	}
 }
 
-var statsColumns = []string{"link", "requests", "errors", "pairs", "throughput(1/s)", "fidelity", "lat_p50(s)", "lat_p90(s)", "lat_p99(s)", "queue(avg)", "queue(max)"}
+var statsColumns = []string{"link", "requests", "errors", "pairs", "throughput(1/s)", "fidelity", "lat_p50(s)", "lat_p90(s)", "lat_p99(s)", "queue(avg)", "queue(max)", "downs", "downtime(s)", "recover(s)"}
 
 // fail prints to stderr and exits with a usage error.
 func fail(err error) {

@@ -401,6 +401,38 @@ func (e *EGP) reapExpired() {
 	}
 }
 
+// FailAll drains the whole request queue with per-request errors of the
+// given code and releases every piece of in-flight attempt bookkeeping —
+// the link-down path of the fault injection subsystem. Errors are emitted
+// for locally originated requests only (mirroring reapExpired: the peer EGP
+// drains its own queue and reports to its own origin), remote items are
+// silently retired, and pending DQP handshakes and EXPIRE retransmissions
+// are cancelled so no timer outlives the outage.
+func (e *EGP) FailAll(code wire.EGPError) {
+	e.queue.FailPending(code)
+	items := append([]*QueueItem(nil), e.queue.AllItems()...)
+	for _, it := range items {
+		e.queue.Remove(it.ID)
+		e.retired[it.ID] = true
+		if e.localOrigin(it) {
+			e.errCount++
+			e.emitError(it, code)
+		}
+	}
+	if e.outstandingK {
+		e.outstandingK = false
+		e.qmm.ReleaseComm()
+	}
+	e.outstandingM = 0
+	e.mAttemptTimes = e.mAttemptTimes[:0]
+	// Cancelling an event has no observable trajectory effect, so plain map
+	// iteration is fine here.
+	for id, ev := range e.pendingExpires {
+		ev.Cancel()
+		delete(e.pendingExpires, id)
+	}
+}
+
 // inCarbonReinitWindow reports whether the hardware is busy re-initialising
 // its carbon memory at the given cycle (Appendix D.3.3: 330 µs every
 // 3500 µs), which blocks create-and-keep attempts.

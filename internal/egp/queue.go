@@ -480,6 +480,27 @@ func (q *DistributedQueue) handleRej(frame wire.DQPFrame) {
 	}
 }
 
+// FailPending cancels every outgoing ADD handshake still awaiting an ACK —
+// the link-down path, where no reply will ever arrive. Items the master
+// already enqueued locally are left for the caller's queue sweep to fail
+// (avoiding a double error); slave-side items that exist only as a pending
+// handshake are reported rejected with the given code. Handshakes are
+// visited in communication-sequence order so the emitted errors are
+// deterministic.
+func (q *DistributedQueue) FailPending(code wire.EGPError) {
+	for cseq := 0; cseq < 256; cseq++ {
+		pa, ok := q.pendingAdds[uint8(cseq)]
+		if !ok {
+			continue
+		}
+		delete(q.pendingAdds, uint8(cseq))
+		pa.timer.Cancel()
+		if !q.isMaster && q.onRejected != nil {
+			q.onRejected(pa.item, code)
+		}
+	}
+}
+
 // sortLane keeps a lane ordered by queue sequence number so both nodes agree
 // on queue order regardless of message arrival interleaving.
 func (q *DistributedQueue) sortLane(priority int) {

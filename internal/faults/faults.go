@@ -1,0 +1,194 @@
+// Package faults is the deterministic fault-injection subsystem: seeded,
+// schedulable fault plans — link down/up, node outages taking every incident
+// link, and degraded mode (raised classical loss, lowered pair fidelity,
+// reduced attempt rate) — applied to a netsim.Network as ordinary sim events
+// on each affected link's own engine. Because every transition fires on the
+// shard owning the link, at a time fixed by the plan, faulty trajectories
+// are byte-identical across -parallel and -shards; and because an empty plan
+// schedules nothing and draws nothing, fault plumbing is zero-cost when off.
+//
+// Plans come from two places: explicit event lists (the scenario spec's
+// faults.events section) and the seeded outage generator (faults.random),
+// which expands a seed into down/up event pairs at plan-build time — before
+// the run starts — so the whole run remains a pure function of its seeds.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Event is one scheduled admin-state transition. Exactly one target is set:
+// Link names one link by its endpoints (order-insensitive), Node takes every
+// link incident to the node — the node-outage fault.
+type Event struct {
+	// At is the transition time as an offset from the start of the run.
+	At sim.Duration
+	// State is the admin state the target enters at At.
+	State netsim.LinkState
+	// Degrade parameterises State == LinkDegraded; it is ignored (and should
+	// be nil) for Up and Down transitions.
+	Degrade *netsim.Degrade
+	// Link targets a single link.
+	Link *netsim.Edge
+	// Node targets every link incident to one node.
+	Node *int
+}
+
+// validate checks one event against a topology.
+func (ev Event) validate(spec netsim.Spec, i int) error {
+	if ev.At < 0 {
+		return fmt.Errorf("faults: event %d: negative time %v", i, ev.At)
+	}
+	if (ev.Link == nil) == (ev.Node == nil) {
+		return fmt.Errorf("faults: event %d: exactly one of link and node must be set", i)
+	}
+	switch ev.State {
+	case netsim.LinkUp, netsim.LinkDown:
+		if ev.Degrade != nil {
+			return fmt.Errorf("faults: event %d: degrade parameters are only valid with state %q", i, netsim.LinkDegraded)
+		}
+	case netsim.LinkDegraded:
+		if d := ev.Degrade; d != nil {
+			if d.ClassicalLoss < 0 || d.ClassicalLoss > 1 {
+				return fmt.Errorf("faults: event %d: classical loss %g out of [0,1]", i, d.ClassicalLoss)
+			}
+			if d.PairFidelity < 0 || d.PairFidelity >= 1 {
+				return fmt.Errorf("faults: event %d: pair fidelity %g out of [0,1)", i, d.PairFidelity)
+			}
+			if d.RateDivisor < 0 {
+				return fmt.Errorf("faults: event %d: negative rate divisor %d", i, d.RateDivisor)
+			}
+		}
+	default:
+		return fmt.Errorf("faults: event %d: unknown state %d", i, ev.State)
+	}
+	if ev.Node != nil {
+		n := *ev.Node
+		if n < 0 || n >= spec.Nodes {
+			return fmt.Errorf("faults: event %d: node %d out of range for %d nodes", i, n, spec.Nodes)
+		}
+		return nil
+	}
+	want := normalize(*ev.Link)
+	for _, e := range spec.Edges {
+		if normalize(e) == want {
+			return nil
+		}
+	}
+	return fmt.Errorf("faults: event %d: no link %d-%d in topology %s", i, want.A, want.B, spec.Name)
+}
+
+func normalize(e netsim.Edge) netsim.Edge {
+	if e.A > e.B {
+		return netsim.Edge{A: e.B, B: e.A}
+	}
+	return e
+}
+
+// Plan is a full fault schedule for one run.
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Validate checks every event against the topology.
+func (p *Plan) Validate(spec netsim.Spec) error {
+	if p == nil {
+		return nil
+	}
+	for i, ev := range p.Events {
+		if err := ev.validate(spec, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Schedule installs every event of the plan on the network, as ordinary
+// events on each affected link's own engine. It must run before the
+// simulation starts (every engine clock still at zero). Events are installed
+// in plan order, which fixes the execution order of same-time transitions on
+// the same link.
+func (p *Plan) Schedule(nw *netsim.Network) error {
+	if p.Empty() {
+		return nil
+	}
+	if err := p.Validate(nw.Config.Spec); err != nil {
+		return err
+	}
+	for _, ev := range p.Events {
+		at := sim.Time(0).Add(ev.At)
+		for _, l := range p.targets(nw, ev) {
+			nw.ScheduleLinkState(l, at, ev.State, ev.Degrade)
+		}
+	}
+	return nil
+}
+
+// targets resolves an event to its affected links: the named link, or every
+// link incident to the named node in stable link-ID order.
+func (p *Plan) targets(nw *netsim.Network, ev Event) []*netsim.Link {
+	if ev.Link != nil {
+		e := normalize(*ev.Link)
+		if l := nw.LinkBetween(e.A, e.B); l != nil {
+			return []*netsim.Link{l}
+		}
+		return nil
+	}
+	links := append([]*netsim.Link(nil), nw.Nodes[*ev.Node].Links...)
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+	return links
+}
+
+// OutageSpec parameterises the seeded outage generator.
+type OutageSpec struct {
+	// Seed drives the generator's private RNG stream.
+	Seed int64
+	// Outages is how many down/up cycles to generate.
+	Outages int
+	// Window is the interval the outage start times are drawn from.
+	Window sim.Duration
+	// MinDown/MaxDown bound the uniformly drawn outage durations.
+	MinDown, MaxDown sim.Duration
+}
+
+// Outages expands a seeded outage spec into an explicit plan: each outage
+// takes one uniformly chosen link down at a uniform time in the window and
+// repairs it after a uniform duration in [MinDown, MaxDown]. All randomness
+// is drawn here, at plan-build time, from a stream derived from the seed —
+// never from the simulation engines — so the plan (and the run it shapes) is
+// a pure function of the spec.
+func Outages(spec netsim.Spec, o OutageSpec) (*Plan, error) {
+	if o.Outages <= 0 {
+		return &Plan{}, nil
+	}
+	if o.Window <= 0 {
+		return nil, fmt.Errorf("faults: outage generator needs a positive window, got %v", o.Window)
+	}
+	if o.MinDown <= 0 || o.MaxDown < o.MinDown {
+		return nil, fmt.Errorf("faults: outage durations must satisfy 0 < min ≤ max, got [%v, %v]", o.MinDown, o.MaxDown)
+	}
+	if len(spec.Edges) == 0 {
+		return nil, fmt.Errorf("faults: topology %s has no links to fail", spec.Name)
+	}
+	rng := sim.NewRNG(sim.DeriveSeed(o.Seed, 0xfa17))
+	var events []Event
+	for i := 0; i < o.Outages; i++ {
+		edge := normalize(spec.Edges[rng.Intn(len(spec.Edges))])
+		start := sim.Duration(rng.Float64() * float64(o.Window))
+		down := o.MinDown + sim.Duration(rng.Float64()*float64(o.MaxDown-o.MinDown))
+		e := edge
+		events = append(events,
+			Event{At: start, State: netsim.LinkDown, Link: &e},
+			Event{At: start + down, State: netsim.LinkUp, Link: &e},
+		)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return &Plan{Events: events}, nil
+}

@@ -186,6 +186,14 @@ type Node struct {
 	traceID uint64
 	metrics *obs.MHPMetrics
 
+	// paused stops attempt generation (the link-admin Down state): the cycle
+	// clock keeps ticking and maintenance sweeps keep running, but the
+	// generator is no longer polled. rateDivisor, when >1, throttles a
+	// Degraded link to polling only every Nth cycle. Both cost one branch per
+	// cycle when inactive, keeping fault plumbing zero-cost when off.
+	paused      bool
+	rateDivisor uint64
+
 	// CommBusy tracks whether the communication qubit is mid-attempt for a
 	// K request (the EGP uses this to avoid double-triggering).
 	awaitingReply bool
@@ -236,6 +244,27 @@ func NewNode(cfg NodeConfig) *Node {
 // Cycle returns the current MHP cycle number.
 func (n *Node) Cycle() uint64 { return n.cycle }
 
+// SetPaused pauses (or resumes) attempt generation. While paused the cycle
+// clock and registry maintenance keep running so a repaired link resumes on
+// the same deterministic cycle grid.
+func (n *Node) SetPaused(p bool) { n.paused = p }
+
+// Paused reports whether attempt generation is paused.
+func (n *Node) Paused() bool { return n.paused }
+
+// SetRateDivisor throttles attempt generation to one poll every d cycles
+// (the Degraded reduced-rate mode); d <= 1 restores the full rate.
+func (n *Node) SetRateDivisor(d uint64) { n.rateDivisor = d }
+
+// ClearPending discards every attempt still awaiting a REPLY — the dying
+// link's in-flight attempts, whose replies (if any) will find no matching
+// queue item anyway.
+func (n *Node) ClearPending() {
+	for c := range n.pending {
+		delete(n.pending, c)
+	}
+}
+
 // Attempts returns how many attempts this node has triggered.
 func (n *Node) Attempts() uint64 { return n.attemptCount }
 
@@ -266,6 +295,12 @@ func (n *Node) runCycle() {
 			n.DropPending(n.cycle - 4096)
 		}
 		n.registry.Sweep(registryMaxLag)
+	}
+	if n.paused {
+		return
+	}
+	if n.rateDivisor > 1 && n.cycle%n.rateDivisor != 0 {
+		return
 	}
 	decision := n.gen.PollTrigger(n.cycle)
 	if !decision.Attempt {
@@ -385,6 +420,12 @@ type Midpoint struct {
 	// arms plus scheduling jitter.
 	holdTime sim.Duration
 
+	// depolarize, when in (0,1), applies a single-qubit depolarising channel
+	// of that fidelity to every freshly heralded pair — the Degraded link
+	// state's lowered-fidelity mode. 0 (the default) is off at the cost of
+	// one comparison per heralded success.
+	depolarize float64
+
 	seq uint16
 	// waiting holds unmatched GEN frames per node, keyed by the attempt
 	// cycle carried in the frame's timestamp: the station links messages to
@@ -461,6 +502,17 @@ func (m *Midpoint) Stats() (matched, successes, timeMismatch, queueMismatch, noO
 
 // Sequence returns the next MHP sequence number to be assigned.
 func (m *Midpoint) Sequence() uint16 { return m.seq }
+
+// SetDepolarizing applies a single-qubit depolarising channel of the given
+// fidelity to every future heralded pair (the Degraded lowered-fidelity
+// mode); f <= 0 or f >= 1 turns the channel off.
+func (m *Midpoint) SetDepolarizing(f float64) {
+	if f <= 0 || f >= 1 {
+		m.depolarize = 0
+		return
+	}
+	m.depolarize = f
+}
 
 // HandleGEN processes a GEN frame (and accompanying photon) from either node.
 func (m *Midpoint) HandleGEN(msg classical.Message) {
@@ -544,6 +596,9 @@ func (m *Midpoint) HandleGEN(msg classical.Message) {
 			heralded = quantum.PsiMinus
 		}
 		pair := nv.NewEntangledPair(res.State, heralded, m.simul.Now())
+		if m.depolarize > 0 {
+			pair.State.ApplyDepolarizing(0, m.depolarize)
+		}
 		m.registry.Put(seq, pair)
 		if m.metrics != nil {
 			m.metrics.Successes.Inc()

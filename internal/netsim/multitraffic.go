@@ -245,6 +245,11 @@ func (mt *MultiTraffic) submit(lt *linkTraffic, class int, closed bool) {
 	})
 	if code != wire.ErrNone {
 		acc.Rejected++
+		if code == wire.ErrLinkDown || code == wire.ErrNoRoute {
+			// The link (or route to the peer) is administratively gone right
+			// now — an outage-shaped reject, not a capacity one.
+			acc.NoRoute++
+		}
 		if closed {
 			mt.scheduleThink(lt, class, mt.generation)
 		}
@@ -278,8 +283,9 @@ func (mt *MultiTraffic) handleOK(lt *linkTraffic, ev egp.OKEvent) {
 }
 
 // handleError accounts a failed request: deadline misses count into the
-// class's timeout rate, everything else as a failure. Closed-loop sessions
-// re-enter the think cycle either way.
+// class's timeout rate, link outages into the outage bucket (so fault-caused
+// loss is never mistaken for queueing pressure), everything else as a
+// failure. Closed-loop sessions re-enter the think cycle either way.
 func (mt *MultiTraffic) handleError(lt *linkTraffic, ev egp.ErrorEvent) {
 	key := requestKey(ev.Node, ev.CreateID)
 	p, ok := lt.pending[key]
@@ -287,9 +293,12 @@ func (mt *MultiTraffic) handleError(lt *linkTraffic, ev egp.ErrorEvent) {
 		return
 	}
 	acc := lt.accounts[p.class]
-	if ev.Code == wire.ErrTimeout {
+	switch ev.Code {
+	case wire.ErrTimeout:
 		acc.TimedOut++
-	} else {
+	case wire.ErrLinkDown:
+		acc.Outage++
+	default:
 		acc.Failed++
 	}
 	delete(lt.pending, key)

@@ -142,6 +142,24 @@ type Link struct {
 	// tracing is off); the EGP/MHP rings are handed to those layers directly.
 	traceNet *obs.Ring
 
+	// Admin state (fault injection). state stays LinkUp unless a fault plan
+	// drives it; Downs/Downtime account completed outages and
+	// Recoveries/RecoveryTotal the time from repair to the first delivered
+	// pair. All fields are touched only from the link's own shard.
+	state         LinkState
+	downSince     sim.Time
+	repairAt      sim.Time
+	awaitRecovery bool
+	Downs         uint64
+	Downtime      sim.Duration
+	Recoveries    uint64
+	RecoveryTotal sim.Duration
+
+	// fibres are the four midpoint channels and duplex the node-to-node
+	// channel pair, retained so degraded mode can inflate their loss.
+	fibres []*classical.Channel
+	duplex *classical.Duplex
+
 	nodeNameA, nodeNameB string
 	stopA, stopB         func()
 	stopSample           func()
@@ -243,6 +261,11 @@ type Network struct {
 	OnLinkOK func(*Link, egp.OKEvent)
 	// OnLinkError, when set, observes every link-layer request failure.
 	OnLinkError func(*Link, egp.ErrorEvent)
+	// OnLinkStateChange, when set, observes every link admin-state
+	// transition (after the link's own handling: queues are already drained
+	// on a Down transition when it fires). The network layer uses it to
+	// invalidate routes and re-path in-flight requests.
+	OnLinkStateChange func(*Link, LinkState, LinkState)
 
 	// pairChannels holds the shared node-to-node duplexes carrying tagged
 	// DQP/EGP traffic, keyed by the normalized node pair.
@@ -265,6 +288,7 @@ type Network struct {
 	ttp        *obs.ClassHistograms
 	cSubmitted *obs.Counter
 	cLinkOKs   *obs.Counter
+	cFaults    *obs.Counter
 }
 
 // NetworkLayerTag is the mux tag reserved for network-layer frames riding the
@@ -331,6 +355,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		nw.ttp = obs.NewClassHistograms(cfg.Metrics, "link.ttp_ns")
 		nw.cSubmitted = cfg.Metrics.Counter("netsim.submitted")
 		nw.cLinkOKs = cfg.Metrics.Counter("netsim.oks")
+		nw.cFaults = cfg.Metrics.Counter("netsim.fault_events")
 	}
 
 	for i := 0; i < cfg.Spec.Nodes; i++ {
@@ -480,9 +505,12 @@ func (nw *Network) buildLink(id LinkID, e Edge) {
 	chanHtoA := classical.NewChannel(l.Name+":H->A", s, platform.CommDelayAH, loss, func(m classical.Message) { l.MHPA.HandleReply(m) })
 	chanHtoB := classical.NewChannel(l.Name+":H->B", s, platform.CommDelayBH, loss, func(m classical.Message) { l.MHPB.HandleReply(m) })
 
+	l.fibres = []*classical.Channel{chanAtoH, chanBtoH, chanHtoA, chanHtoB}
+
 	// Node-to-node DQP/EGP traffic multiplexes over the shared pair duplex,
 	// tagged with the link ID; the receiving node's registry dispatches it.
 	duplex := nw.pairDuplex(l)
+	l.duplex = duplex
 	portA := classical.TagPort{Tag: uint64(id), Under: duplex.AtoB}
 	portB := classical.TagPort{Tag: uint64(id), Under: duplex.BtoA}
 
@@ -658,6 +686,11 @@ func (nw *Network) Run(d sim.Duration) {
 // Submit issues a CREATE request on the given link from the endpoint playing
 // the given role ("A" = lower-index node).
 func (nw *Network) Submit(l *Link, role string, req egp.CreateRequest) (uint16, wire.EGPError) {
+	if l.state == LinkDown {
+		// An administratively down link rejects new work synchronously rather
+		// than queueing it into a paused stack.
+		return 0, wire.ErrLinkDown
+	}
 	e := l.EGPFor(role)
 	id, code := e.Create(req)
 	if code == wire.ErrNone {
@@ -681,6 +714,13 @@ func (nw *Network) handleOK(l *Link, ev egp.OKEvent) {
 	}
 	if !ev.OriginIsLocal {
 		return
+	}
+	if l.awaitRecovery {
+		// First delivered pair after a repair closes the link's
+		// time-to-recover interval.
+		l.awaitRecovery = false
+		l.Recoveries++
+		l.RecoveryTotal += ev.At.Sub(l.repairAt)
 	}
 	l.traceNet.Record(ev.At, obs.KindLinkOK, uint64(l.ID), int64(ev.CreateID), int64(ev.PairsRemaining))
 	nw.cLinkOKs.Inc()

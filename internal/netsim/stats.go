@@ -19,6 +19,13 @@ type LinkStats struct {
 	LatencyP50, LatencyP90, LatencyP99 float64 // per-pair latency percentiles, seconds
 	QueueMean                          float64
 	QueueMax                           float64
+	// Robustness surface, fed by the fault injector (all zero in fault-free
+	// runs): Downs counts outages, DowntimeSeconds the cumulative time spent
+	// administratively down (including a still-open outage at run end), and
+	// RecoverySeconds the mean time from repair to the first delivered pair.
+	Downs           uint64
+	DowntimeSeconds float64
+	RecoverySeconds float64
 }
 
 // mergedValues concatenates a per-priority series getter across the three
@@ -47,19 +54,25 @@ func totalPairs(c *metrics.Collector) int {
 func (l *Link) statsFromSeries(fid, lat *metrics.Series) LinkStats {
 	c := l.Collector
 	pairs := totalPairs(c)
-	return LinkStats{
-		Link:       l.Name,
-		Requests:   l.Submitted,
-		Errors:     l.Errs,
-		Pairs:      pairs,
-		OKRate:     metrics.SafeRate(float64(pairs), c.DurationSeconds()),
-		Fidelity:   fid.Mean(),
-		LatencyP50: lat.Percentile(50),
-		LatencyP90: lat.Percentile(90),
-		LatencyP99: lat.Percentile(99),
-		QueueMean:  c.QueueLength().Mean(),
-		QueueMax:   c.QueueLength().Max(),
+	st := LinkStats{
+		Link:            l.Name,
+		Requests:        l.Submitted,
+		Errors:          l.Errs,
+		Pairs:           pairs,
+		OKRate:          metrics.SafeRate(float64(pairs), c.DurationSeconds()),
+		Fidelity:        fid.Mean(),
+		LatencyP50:      lat.Percentile(50),
+		LatencyP90:      lat.Percentile(90),
+		LatencyP99:      lat.Percentile(99),
+		QueueMean:       c.QueueLength().Mean(),
+		QueueMax:        c.QueueLength().Max(),
+		Downs:           l.Downs,
+		DowntimeSeconds: l.DowntimeAt(l.Eng.Now()).Seconds(),
 	}
+	if l.Recoveries > 0 {
+		st.RecoverySeconds = l.RecoveryTotal.Seconds() / float64(l.Recoveries)
+	}
+	return st
 }
 
 // Stats computes one link's summary from its collector.
@@ -94,6 +107,10 @@ func (nw *Network) Stats() (perLink []LinkStats, aggregate LinkStats) {
 		pairs += totalPairs(l.Collector)
 		aggregate.Requests += l.Submitted
 		aggregate.Errors += l.Errs
+		row := perLink[len(perLink)-1]
+		aggregate.Downs += row.Downs
+		aggregate.DowntimeSeconds += row.DowntimeSeconds
+		aggregate.RecoverySeconds += row.RecoverySeconds * float64(row.Downs)
 		if d := l.Collector.DurationSeconds(); d > duration {
 			duration = d
 		}
@@ -107,6 +124,9 @@ func (nw *Network) Stats() (perLink []LinkStats, aggregate LinkStats) {
 	aggregate.LatencyP99 = lat.Percentile(99)
 	aggregate.QueueMean = queue.Mean()
 	aggregate.QueueMax = queue.Max()
+	if aggregate.Downs > 0 {
+		aggregate.RecoverySeconds /= float64(aggregate.Downs)
+	}
 	return perLink, aggregate
 }
 
@@ -124,13 +144,16 @@ func MeanStats(rows []LinkStats) LinkStats {
 	}
 	out.Link = rows[0].Link
 	n := float64(len(rows))
-	var requests, errs, pairs, fidW, latTrials float64
+	var requests, errs, downs, pairs, fidW, latTrials float64
 	for _, r := range rows {
 		requests += float64(r.Requests)
 		errs += float64(r.Errors)
+		downs += float64(r.Downs)
 		pairs += float64(r.Pairs)
 		out.OKRate += r.OKRate / n
 		out.QueueMean += r.QueueMean / n
+		out.DowntimeSeconds += r.DowntimeSeconds / n
+		out.RecoverySeconds += r.RecoverySeconds / n
 		if r.QueueMax > out.QueueMax {
 			out.QueueMax = r.QueueMax
 		}
@@ -154,6 +177,7 @@ func MeanStats(rows []LinkStats) LinkStats {
 	}
 	out.Requests = uint64(math.Round(requests / n))
 	out.Errors = uint64(math.Round(errs / n))
+	out.Downs = uint64(math.Round(downs / n))
 	out.Pairs = int(math.Round(pairs / n))
 	return out
 }

@@ -153,22 +153,25 @@ func TestSingleHopDelivery(t *testing.T) {
 	}
 }
 
-// TestCreateRejectsInfeasible covers the UNSUPP paths of the request API:
-// unreachable fidelity floors, impossible deadlines, disconnected and
-// out-of-range node pairs.
+// TestCreateRejectsInfeasible covers the synchronous reject paths of the
+// request API: unreachable fidelity floors, disconnected and out-of-range
+// node pairs fail fast with NOROUTE, impossible deadlines with UNSUPP.
 func TestCreateRejectsInfeasible(t *testing.T) {
 	nw, svc := buildService(t, 4, 3, nil, DefaultConfig())
 	var errs []ErrorEvent
 	svc.OnError = func(ev ErrorEvent) { errs = append(errs, ev) }
-	cases := []CreateRequest{
-		{SrcNode: 0, DstNode: 3, NumPairs: 1, MinFidelity: 0.95},                          // floor unreachable across 3 hops
-		{SrcNode: 0, DstNode: 3, NumPairs: 4, MinFidelity: 0.5, MaxTime: sim.Millisecond}, // deadline below any expected completion
-		{SrcNode: 0, DstNode: 9, NumPairs: 1, MinFidelity: 0.5},                           // out of range
-		{SrcNode: 2, DstNode: 2, NumPairs: 1, MinFidelity: 0.5},                           // trivial pair
+	cases := []struct {
+		req  CreateRequest
+		want wire.EGPError
+	}{
+		{CreateRequest{SrcNode: 0, DstNode: 3, NumPairs: 1, MinFidelity: 0.95}, wire.ErrNoRoute},                              // floor unreachable across 3 hops
+		{CreateRequest{SrcNode: 0, DstNode: 3, NumPairs: 4, MinFidelity: 0.5, MaxTime: sim.Millisecond}, wire.ErrUnsupported}, // deadline below any expected completion
+		{CreateRequest{SrcNode: 0, DstNode: 9, NumPairs: 1, MinFidelity: 0.5}, wire.ErrNoRoute},                               // out of range
+		{CreateRequest{SrcNode: 2, DstNode: 2, NumPairs: 1, MinFidelity: 0.5}, wire.ErrNoRoute},                               // trivial pair
 	}
-	for i, req := range cases {
-		if _, code := svc.Create(req); code != wire.ErrUnsupported {
-			t.Errorf("case %d: Create returned %v, want UNSUPP", i, code)
+	for i, c := range cases {
+		if _, code := svc.Create(c.req); code != c.want {
+			t.Errorf("case %d: Create returned %v, want %v", i, code, c.want)
 		}
 	}
 	if len(errs) != len(cases) {
@@ -362,7 +365,7 @@ func TestLossyChannelsBoundedResources(t *testing.T) {
 // inversion: a BSM at or below fidelity 1/4 destroys all entanglement, so
 // multi-hop requests with a positive floor must be rejected rather than
 // silently served without the gate adjustment. Synchronously rejected
-// requests must also show up as offered-and-failed in the path statistics.
+// requests must also show up as offered-and-no-route in the path statistics.
 func TestNoisyGateFloorRejection(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SwapGateFidelity = 0.2
@@ -370,15 +373,15 @@ func TestNoisyGateFloorRejection(t *testing.T) {
 	if floor := PerHopFidelityFloor(0.5, 3, 0.2); floor != 1 {
 		t.Fatalf("PerHopFidelityFloor(0.5, 3, gate=0.2) = %g, want unreachable 1", floor)
 	}
-	if _, code := svc.Create(CreateRequest{SrcNode: 0, DstNode: 3, NumPairs: 1, MinFidelity: 0.5}); code != wire.ErrUnsupported {
-		t.Fatalf("Create with destructive BSM returned %v, want UNSUPP", code)
+	if _, code := svc.Create(CreateRequest{SrcNode: 0, DstNode: 3, NumPairs: 1, MinFidelity: 0.5}); code != wire.ErrNoRoute {
+		t.Fatalf("Create with destructive BSM returned %v, want NOROUTE", code)
 	}
 	perPath, agg := svc.Stats()
-	if len(perPath) != 1 || perPath[0].Requests != 1 || perPath[0].Failed != 1 {
-		t.Errorf("synchronous reject missing from path stats: %+v", perPath)
+	if len(perPath) != 1 || perPath[0].Requests != 1 || perPath[0].NoRoute != 1 || perPath[0].Failed != 0 {
+		t.Errorf("synchronous no-route reject missing from path stats: %+v", perPath)
 	}
-	if agg.Requests != 1 || agg.Failed != 1 {
-		t.Errorf("synchronous reject missing from aggregate: %+v", agg)
+	if agg.Requests != 1 || agg.NoRoute != 1 || agg.Failed != 0 {
+		t.Errorf("synchronous no-route reject missing from aggregate: %+v", agg)
 	}
 	_ = nw
 }

@@ -104,9 +104,18 @@ func (p Path) String() string {
 	return s
 }
 
+// degradedCostFactor re-weights links in the Degraded admin state so routing
+// prefers healthy alternatives but still crosses a degraded link when it is
+// the only way through.
+const degradedCostFactor = 8
+
 // Router computes paths over a netsim topology with a pluggable link cost.
 // Routes are computed once per (src, dst) pair and cached; the cost function
-// is evaluated at construction so route choice is stable over a run.
+// is evaluated at construction so route choice is stable over a run. Link
+// admin state modulates the static costs at search time — Down links are
+// excluded, Degraded links re-weighted — and the fault injector's state
+// transitions invalidate the cache (see Invalidate), so recomputed routes
+// steer around failures.
 type Router struct {
 	nw    *netsim.Network
 	costs []float64 // by LinkID
@@ -142,6 +151,19 @@ func NewRouter(nw *netsim.Network, cost CostFunc) *Router {
 		r.adjacency[l.Edge.B] = append(r.adjacency[l.Edge.B], adjEntry{to: l.Edge.A, link: l})
 	}
 	return r
+}
+
+// Invalidate drops every cached route. The service calls it on each link
+// admin-state transition so the next Path query sees the current topology.
+func (r *Router) Invalidate() { clear(r.cache) }
+
+// linkCost is a link's static cost modulated by its admin state.
+func (r *Router) linkCost(l *netsim.Link) float64 {
+	c := r.costs[l.ID]
+	if l.State() == netsim.LinkDegraded {
+		c *= degradedCostFactor
+	}
+	return c
 }
 
 // pqItem is one Dijkstra frontier entry; ties break on node index so the
@@ -197,7 +219,10 @@ func (r *Router) Path(src, dst int) (Path, error) {
 			break
 		}
 		for _, e := range r.adjacency[it.node] {
-			if c := dist[it.node] + r.costs[e.link.ID]; c < dist[e.to] {
+			if e.link.State() == netsim.LinkDown {
+				continue
+			}
+			if c := dist[it.node] + r.linkCost(e.link); c < dist[e.to] {
 				dist[e.to] = c
 				prevNode[e.to] = it.node
 				prevLink[e.to] = e.link

@@ -166,6 +166,20 @@ type requestState struct {
 	// replacements issued for abandoned pairs.
 	hopOKCount map[hopKey]int
 	openHops   int
+	// agg is the per-path stats bucket the request was accounted against at
+	// submission; rerouted requests keep reporting into their original bucket
+	// (path churn is visible through the reroute counters instead).
+	agg *pathAgg
+	// stale marks hop CREATEs abandoned by a reroute: their link-layer OKs
+	// still count down the retirement bookkeeping, but their pairs are
+	// released on arrival instead of feeding the swap engine.
+	stale map[hopKey]bool
+	// reroutes counts completed re-paths, retries counts backoff attempts
+	// (including ones that then found no path), rerouting guards against
+	// scheduling two concurrent repath timers.
+	reroutes  uint64
+	retries   uint64
+	rerouting bool
 }
 
 func (r *requestState) finished() bool { return r.done || r.failed }
@@ -193,14 +207,19 @@ type Service struct {
 
 	swaps      uint64
 	framesSent uint64
+	// noPathRejects counts CREATEs rejected synchronously because no route
+	// existed at all (no path bucket to account them against).
+	noPathRejects uint64
 
 	// Flight-recorder ring and metric handles; all nil when observability is
 	// off (every use is nil-safe).
-	trace    *obs.Ring
-	ttp      *obs.ClassHistograms
-	cOKs     *obs.Counter
-	cFails   *obs.Counter
-	cSwapCnt *obs.Counter
+	trace     *obs.Ring
+	ttp       *obs.ClassHistograms
+	cOKs      *obs.Counter
+	cFails    *obs.Counter
+	cSwapCnt  *obs.Counter
+	cReroutes *obs.Counter
+	cNoRoute  *obs.Counter
 
 	// OnOK and OnError observe deliveries and failures.
 	OnOK    func(OKEvent)
@@ -252,9 +271,12 @@ func NewService(nw *netsim.Network, cfg Config) (*Service, error) {
 		s.cOKs = cfg.Metrics.Counter("e2e.oks")
 		s.cFails = cfg.Metrics.Counter("e2e.fails")
 		s.cSwapCnt = cfg.Metrics.Counter("e2e.swaps")
+		s.cReroutes = cfg.Metrics.Counter("e2e.reroutes")
+		s.cNoRoute = cfg.Metrics.Counter("e2e.noroute")
 	}
 	nw.OnLinkOK = s.handleLinkOK
 	nw.OnLinkError = s.handleLinkError
+	nw.OnLinkStateChange = s.handleLinkStateChange
 	for i := range nw.Nodes {
 		node := i
 		nw.RegisterNetworkHandler(node, func(m classical.Message) { s.handleFrame(node, m) })
@@ -277,8 +299,10 @@ func (s *Service) FramesSent() uint64 { return s.framesSent }
 
 // Create submits an end-to-end entanglement request. It returns the assigned
 // request ID and an immediate error code: ErrNone when the request was
-// accepted, ErrUnsupported when no route exists, the fidelity floor is
-// infeasible on some hop, or the deadline cannot be met even in expectation.
+// accepted, ErrNoRoute when no usable route exists or the fidelity floor is
+// infeasible on every route, ErrUnsupported when the deadline cannot be met
+// even in expectation. Synchronous no-route rejects are counted separately
+// (PathStats.NoRoute) from asynchronous failures.
 func (s *Service) Create(req CreateRequest) (RequestID, wire.EGPError) {
 	id := s.nextID
 	s.nextID++
@@ -292,30 +316,37 @@ func (s *Service) Create(req CreateRequest) (RequestID, wire.EGPError) {
 
 	path, err := s.router.Path(req.SrcNode, req.DstNode)
 	if err != nil {
-		// No resolvable path, so no per-path bucket to account this against;
-		// the collector still records the failure.
-		s.emitError(id, req, wire.ErrUnsupported, now)
-		return id, wire.ErrUnsupported
+		// No resolvable path (disconnected, or every route crosses a down
+		// link), so no per-path bucket to account this against; the reject is
+		// counted in the aggregate row's NoRoute column.
+		s.noPathRejects++
+		s.cNoRoute.Inc()
+		s.emitError(id, req, wire.ErrNoRoute, now)
+		return id, wire.ErrNoRoute
 	}
-	// Synchronous rejects on a resolved path count as offered-and-failed in
-	// that path's statistics, so rejected traffic is visible in the tables.
-	reject := func() (RequestID, wire.EGPError) {
-		agg := s.aggFor(path)
-		agg.requests++
-		agg.failed++
-		s.emitError(id, req, wire.ErrUnsupported, now)
-		return id, wire.ErrUnsupported
-	}
+	// Synchronous rejects on a resolved path count as offered in that path's
+	// statistics, so rejected traffic is visible in the tables; no-route
+	// rejects (fidelity floor infeasible) have their own column, distinct
+	// from asynchronous failures.
 	linkFloor := PerHopFidelityFloor(req.MinFidelity, path.Hops(), s.cfg.SwapGateFidelity)
 	for _, l := range path.Links {
 		if _, ok := l.EGPA.FEU().AlphaForFidelity(linkFloor); !ok {
-			return reject()
+			agg := s.aggFor(path)
+			agg.requests++
+			agg.noRoute++
+			s.cNoRoute.Inc()
+			s.emitError(id, req, wire.ErrNoRoute, now)
+			return id, wire.ErrNoRoute
 		}
 	}
 	if req.MaxTime > 0 {
 		est := EstimatePathSeconds(path, req.NumPairs, linkFloor)
 		if math.IsInf(est, 1) || est > req.MaxTime.Seconds() {
-			return reject()
+			agg := s.aggFor(path)
+			agg.requests++
+			agg.failed++
+			s.emitError(id, req, wire.ErrUnsupported, now)
+			return id, wire.ErrUnsupported
 		}
 	}
 
@@ -333,10 +364,11 @@ func (s *Service) Create(req CreateRequest) (RequestID, wire.EGPError) {
 	for i, n := range path.Nodes {
 		r.pos[n] = i
 	}
+	r.agg = s.aggFor(path)
 	s.requests[id] = r
 	s.trace.Record(now, obs.KindE2ECreate, uint64(id), int64(req.SrcNode), int64(req.DstNode))
 	s.collector.RequestSubmitted(uint64(id), req.Priority, fmt.Sprintf("n%d", req.SrcNode), req.NumPairs, now)
-	s.pathAggFor(r).requests++
+	r.agg.requests++
 
 	// One link-layer CREATE per hop, originated at the hop's path-upstream
 	// endpoint. The per-hop requests have no own deadline; the service-level
@@ -415,7 +447,10 @@ func (s *Service) failRequest(r *requestState, code wire.EGPError) {
 	for _, n := range r.path.Nodes {
 		delete(s.nodeSegs[n], r.id)
 	}
-	s.pathAggFor(r).failed++
+	agg := s.pathAggFor(r)
+	agg.failed++
+	agg.reroutes += r.reroutes
+	agg.retries += r.retries
 	s.trace.Record(s.nw.Sim.Now(), obs.KindE2EFail, uint64(r.id), int64(r.req.NumPairs-r.pairsLeft), int64(code))
 	s.cFails.Inc()
 	s.emitError(r.id, r.req, code, s.nw.Sim.Now())
@@ -480,6 +515,8 @@ func (s *Service) deliver(sg *segment) {
 		s.trace.Record(now, obs.KindE2EDone, uint64(r.id), int64(r.req.NumPairs), 0)
 		s.collector.RequestCompleted(uint64(r.id), now)
 		agg.completed++
+		agg.reroutes += r.reroutes
+		agg.retries += r.retries
 		for _, n := range r.path.Nodes {
 			delete(s.nodeSegs[n], r.id)
 		}

@@ -13,6 +13,9 @@ type pathAgg struct {
 	requests    uint64
 	completed   uint64
 	failed      uint64
+	noRoute     uint64
+	reroutes    uint64
+	retries     uint64
 	pairs       int
 	fidelity    metrics.Series
 	predicted   metrics.Series
@@ -34,8 +37,14 @@ func (s *Service) aggFor(p Path) *pathAgg {
 	return agg
 }
 
-// pathAggFor is aggFor over a request's resolved path.
-func (s *Service) pathAggFor(r *requestState) *pathAgg { return s.aggFor(r.path) }
+// pathAggFor is the stats bucket a request reports into: the bucket of the
+// path it was submitted on, even after reroutes changed the live path.
+func (s *Service) pathAggFor(r *requestState) *pathAgg {
+	if r.agg != nil {
+		return r.agg
+	}
+	return s.aggFor(r.path)
+}
 
 // PathStats summarises one path's delivered end-to-end performance (or the
 // pooled aggregate when Path is "aggregate").
@@ -45,6 +54,15 @@ type PathStats struct {
 	Requests  uint64
 	Completed uint64
 	Failed    uint64
+	// NoRoute counts synchronous no-route rejects (request never admitted:
+	// disconnected under outages, or fidelity floor infeasible), separately
+	// from asynchronous Failed requests. The aggregate row also folds in
+	// rejects that resolved no path at all.
+	NoRoute uint64
+	// Reroutes counts completed re-paths of admitted requests; Retries counts
+	// backoff attempts (including ones that then found no path).
+	Reroutes  uint64
+	Retries   uint64
 	Pairs     int
 	OKRate    float64 // delivered end-to-end pairs per simulated second
 	Fidelity  float64 // mean delivered fidelity
@@ -69,6 +87,9 @@ func statsFrom(agg *pathAgg, seconds float64) PathStats {
 		Requests:  agg.requests,
 		Completed: agg.completed,
 		Failed:    agg.failed,
+		NoRoute:   agg.noRoute,
+		Reroutes:  agg.reroutes,
+		Retries:   agg.retries,
 		Pairs:     agg.pairs,
 		OKRate:    metrics.SafeRate(float64(agg.pairs), seconds),
 		Fidelity:  agg.fidelity.Mean(),
@@ -95,6 +116,9 @@ func (s *Service) Stats() (perPath []PathStats, aggregate PathStats) {
 		aggregate.Requests += agg.requests
 		aggregate.Completed += agg.completed
 		aggregate.Failed += agg.failed
+		aggregate.NoRoute += agg.noRoute
+		aggregate.Reroutes += agg.reroutes
+		aggregate.Retries += agg.retries
 		aggregate.Pairs += agg.pairs
 		if agg.hops > maxHops {
 			maxHops = agg.hops
@@ -117,6 +141,10 @@ func (s *Service) Stats() (perPath []PathStats, aggregate PathStats) {
 	}
 	aggregate.Path = "aggregate"
 	aggregate.Hops = maxHops
+	// Rejects that resolved no path at all belong to no per-path row; they
+	// are offered traffic, so the aggregate row carries them.
+	aggregate.Requests += s.noPathRejects
+	aggregate.NoRoute += s.noPathRejects
 	aggregate.OKRate = metrics.SafeRate(float64(aggregate.Pairs), seconds)
 	aggregate.Fidelity = fid.Mean()
 	aggregate.Predicted = pred.Mean()
@@ -145,11 +173,14 @@ func MeanPathStats(rows []PathStats) PathStats {
 		}
 	}
 	n := float64(len(rows))
-	var requests, completed, failed, pairs, fidW, latTrials float64
+	var requests, completed, failed, noRoute, reroutes, retries, pairs, fidW, latTrials float64
 	for _, r := range rows {
 		requests += float64(r.Requests)
 		completed += float64(r.Completed)
 		failed += float64(r.Failed)
+		noRoute += float64(r.NoRoute)
+		reroutes += float64(r.Reroutes)
+		retries += float64(r.Retries)
 		pairs += float64(r.Pairs)
 		out.OKRate += r.OKRate / n
 		if r.Pairs > 0 {
@@ -181,6 +212,9 @@ func MeanPathStats(rows []PathStats) PathStats {
 	out.Requests = uint64(math.Round(requests / n))
 	out.Completed = uint64(math.Round(completed / n))
 	out.Failed = uint64(math.Round(failed / n))
+	out.NoRoute = uint64(math.Round(noRoute / n))
+	out.Reroutes = uint64(math.Round(reroutes / n))
+	out.Retries = uint64(math.Round(retries / n))
 	out.Pairs = int(math.Round(pairs / n))
 	return out
 }

@@ -87,9 +87,9 @@ func (s *Service) handleLinkOK(l *netsim.Link, ev egp.OKEvent) {
 		r.openHops--
 		defer s.maybeForget(r)
 	}
-	if r.finished() {
-		// Late pair for a completed or failed request: free this endpoint's
-		// qubit immediately.
+	if r.finished() || r.stale[key] {
+		// Late pair for a completed or failed request, or a pair from a hop
+		// CREATE a reroute abandoned: free this endpoint's qubit immediately.
 		l.DeviceFor(ev.Node).Release(ev.Pair)
 		return
 	}
@@ -112,17 +112,24 @@ func (s *Service) handleLinkOK(l *netsim.Link, ev egp.OKEvent) {
 }
 
 // handleLinkError fails the owning end-to-end request when one of its hop
-// CREATEs errors at the link layer (queue rejection, expiry, ...). Error
-// events are emitted at the originating endpoint, so ev.Node is the origin
-// role.
+// CREATEs errors at the link layer (queue rejection, expiry, ...) — except
+// for LINKDOWN, where the request survives the outage by re-pathing around
+// the dead link instead. Error events are emitted at the originating
+// endpoint, so ev.Node is the origin role.
 func (s *Service) handleLinkError(l *netsim.Link, ev egp.ErrorEvent) {
 	id, owned := s.hopOwner[hopKey{link: l.ID, originRole: ev.Node, createID: ev.CreateID}]
 	if !owned {
 		return
 	}
-	if r := s.requests[id]; r != nil {
-		s.failRequest(r, ev.Code)
+	r := s.requests[id]
+	if r == nil {
+		return
 	}
+	if ev.Code == wire.ErrLinkDown {
+		s.rerouteRequest(r, l)
+		return
+	}
+	s.failRequest(r, ev.Code)
 }
 
 // abandonIfStuck reaps a link pair that never collected its second endpoint
@@ -324,7 +331,10 @@ func (s *Service) performSwap(n int, segL, segR *segment) {
 // not strand memory qubits forever.
 func (s *Service) scheduleFrameRetry(n int, sg *segment, fa, fb swapFrame, retries int) {
 	sim.Schedule(s.nw.Sim, swapRetryInterval, func() {
-		if sg.placed || sg.req.finished() {
+		if sg.placed || sg.consumed || sg.req.finished() {
+			// consumed covers segments torn down by a reroute: their qubits
+			// are already released, retrying (or failing the request over
+			// them) would be wrong.
 			return
 		}
 		if retries >= swapRetryLimit {
@@ -400,6 +410,11 @@ func (s *Service) handleFrame(node int, msg classical.Message) {
 		} else {
 			sg.devB.Release(sg.pair)
 		}
+		return
+	}
+	if sg.consumed {
+		// A reroute tore this segment down while the frame was in flight; its
+		// qubits are already released.
 		return
 	}
 	if f.End == nv.SideA {

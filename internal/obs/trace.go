@@ -118,6 +118,14 @@ const (
 	// KindE2EFail closes the span with a failure. A = pairs delivered,
 	// B = the link-layer error code (wire.EGPError).
 	KindE2EFail
+	// KindLinkState is a link admin-state transition from the fault
+	// injector. A = new state, B = previous state (netsim.LinkState values).
+	// Track = FaultTrack | link ID, so fault events get their own track.
+	KindLinkState
+	// KindReroute marks an in-flight end-to-end request re-pathing around a
+	// dead link. A = reroute count for the request so far, B = retry backoff
+	// in sim nanoseconds. Track = request ID.
+	KindReroute
 )
 
 // String names the kind for the Chrome trace "name" field.
@@ -161,6 +169,10 @@ func (k Kind) String() string {
 		return "OK"
 	case KindE2EFail:
 		return "TIMEOUT"
+	case KindLinkState:
+		return "link_state"
+	case KindReroute:
+		return "reroute"
 	}
 	return "?"
 }
@@ -169,6 +181,11 @@ func (k Kind) String() string {
 // records, keeping them off the per-shard batch tracks. Shard counts are
 // small integers, so the value can never collide with a real shard index.
 const BarrierTrack = uint64(1) << 32
+
+// FaultTrack is the reserved netsim-layer track identity for fault-injection
+// records (link admin-state transitions): OR'd with the link ID it keeps
+// fault events on their own track, away from the per-link traffic tracks.
+const FaultTrack = uint64(1) << 33
 
 // Record is one compact trace event: 48 bytes, no pointers, so rings are
 // GC-transparent and recording is a few stores.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/egp"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/nv"
@@ -37,6 +38,9 @@ type Compiled struct {
 
 	// Service is the end-to-end section (nil for link-layer scenarios).
 	Service *CompiledService
+
+	// Faults is the resolved fault plan (nil for fault-free scenarios).
+	Faults *faults.Plan
 }
 
 // StandingRequest is one resolved standing request, submitted on every link
@@ -220,8 +224,99 @@ func (s *Spec) Compile() (*Compiled, error) {
 		}
 	}
 
+	if f := s.Faults; f != nil {
+		plan, err := f.resolve(topo, cfg.Seed)
+		if err != nil {
+			return nil, sectionErr(s.Name, "faults", err)
+		}
+		if err := plan.Validate(topo); err != nil {
+			return nil, sectionErr(s.Name, "faults", err)
+		}
+		c.Faults = plan
+	}
+
 	c.Config = cfg
 	return c, nil
+}
+
+// resolve maps the faults section onto a fault plan: explicit events in
+// order, then the generated outages.
+func (f Faults) resolve(topo netsim.Spec, engineSeed int64) (*faults.Plan, error) {
+	plan := &faults.Plan{}
+	for i, ev := range f.Events {
+		fe, err := ev.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("events[%d]: %w", i, err)
+		}
+		plan.Events = append(plan.Events, fe)
+	}
+	if o := f.Outages; o != nil {
+		if o.Count <= 0 {
+			return nil, fmt.Errorf("outages: count must be positive")
+		}
+		seed := o.Seed
+		if seed == 0 {
+			seed = engineSeed
+		}
+		gen, err := faults.Outages(topo, faults.OutageSpec{
+			Seed:    seed,
+			Outages: o.Count,
+			Window:  seconds(o.WindowS),
+			MinDown: seconds(o.MinDownS),
+			MaxDown: seconds(o.MaxDownS),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("outages: %w", err)
+		}
+		plan.Events = append(plan.Events, gen.Events...)
+	}
+	if len(plan.Events) == 0 {
+		return nil, fmt.Errorf("faults section present but schedules nothing")
+	}
+	return plan, nil
+}
+
+// resolve maps one fault event onto the injector's representation.
+func (ev FaultEvent) resolve() (faults.Event, error) {
+	if ev.AtS < 0 {
+		return faults.Event{}, fmt.Errorf("negative at_s %g", ev.AtS)
+	}
+	var st netsim.LinkState
+	switch ev.State {
+	case "up":
+		st = netsim.LinkUp
+	case "degraded":
+		st = netsim.LinkDegraded
+	case "down":
+		st = netsim.LinkDown
+	default:
+		return faults.Event{}, fmt.Errorf("unknown state %q (up|degraded|down)", ev.State)
+	}
+	out := faults.Event{At: seconds(ev.AtS), State: st}
+	if len(ev.Link) > 0 {
+		if len(ev.Link) != 2 {
+			return faults.Event{}, fmt.Errorf("link wants [a, b], got %v", ev.Link)
+		}
+		out.Link = &netsim.Edge{A: ev.Link[0], B: ev.Link[1]}
+	}
+	if ev.Node != nil {
+		n := *ev.Node
+		out.Node = &n
+	}
+	if (out.Link == nil) == (out.Node == nil) {
+		return faults.Event{}, fmt.Errorf("exactly one of link and node must be set")
+	}
+	if d := ev.Degrade; d != nil {
+		if st != netsim.LinkDegraded {
+			return faults.Event{}, fmt.Errorf("degrade parameters are only valid with state degraded")
+		}
+		out.Degrade = &netsim.Degrade{
+			ClassicalLoss: d.ClassicalLoss,
+			PairFidelity:  d.PairFidelity,
+			RateDivisor:   d.RateDivisor,
+		}
+	}
+	return out, nil
 }
 
 // resolve maps the topology section onto the netsim generators.
@@ -403,6 +498,13 @@ func (sv Service) resolve(nodes int) (CompiledService, error) {
 // traffic-less scenarios.
 func (c *Compiled) Attach(nw *netsim.Network) (*netsim.MultiTraffic, error) {
 	var mt *netsim.MultiTraffic
+	if c.Faults != nil {
+		// Install the fault plan before the run starts: every transition
+		// becomes an ordinary event on the owning link's engine.
+		if err := c.Faults.Schedule(nw); err != nil {
+			return nil, fmt.Errorf("scenario %q: faults: %w", c.Spec.Name, err)
+		}
+	}
 	if c.Poisson != nil {
 		nw.AttachTraffic(*c.Poisson)
 	}

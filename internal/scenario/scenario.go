@@ -42,6 +42,10 @@ type Spec struct {
 	// Service, when present, runs the network layer end to end over the
 	// topology (cmd/e2e); link-layer runs omit it.
 	Service *Service `json:"service,omitempty"`
+	// Faults schedules deterministic fault injection over the run: link
+	// down/up, node outages and degraded mode, as explicit events and/or a
+	// seeded outage generator. Omitted, the run is fault-free at zero cost.
+	Faults *Faults `json:"faults,omitempty"`
 }
 
 // Topology selects the node graph: one of the named generators, or an
@@ -243,6 +247,59 @@ type Service struct {
 	// StandingPairs, when non-zero, submits one long-lived end-to-end
 	// request of that many pairs at build time (the bench primer pattern).
 	StandingPairs int `json:"standing_pairs,omitempty"`
+}
+
+// Faults is the fault-injection section: an explicit event list, an optional
+// seeded outage generator, or both (generated events are appended after the
+// explicit ones). All times are offsets from the start of the run; every
+// trial replays the same plan.
+type Faults struct {
+	// Events are explicit admin-state transitions in schedule order.
+	Events []FaultEvent `json:"events,omitempty"`
+	// Outages generates seeded random link outages on top of Events.
+	Outages *RandomOutages `json:"outages,omitempty"`
+}
+
+// FaultEvent is one scheduled admin-state transition of a link or a node.
+type FaultEvent struct {
+	// AtS is the transition time in seconds from the start of the run.
+	AtS float64 `json:"at_s"`
+	// State is the admin state entered at AtS: up, degraded or down.
+	State string `json:"state"`
+	// Link targets one link by its endpoint pair [a, b] (order-insensitive);
+	// Node targets every link incident to the node (a node outage). Exactly
+	// one of the two must be set.
+	Link []int `json:"link,omitempty"`
+	Node *int  `json:"node,omitempty"`
+	// Degrade parameterises state degraded; invalid with up or down.
+	Degrade *DegradeSpec `json:"degrade,omitempty"`
+}
+
+// DegradeSpec is the degraded-mode parameter set; each knob applies only
+// when set.
+type DegradeSpec struct {
+	// ClassicalLoss replaces the per-frame loss probability of the link's
+	// classical channels.
+	ClassicalLoss float64 `json:"classical_loss,omitempty"`
+	// PairFidelity applies a depolarising channel of that fidelity to every
+	// freshly heralded pair.
+	PairFidelity float64 `json:"pair_fidelity,omitempty"`
+	// RateDivisor throttles attempt generation to one poll every that many
+	// MHP cycles.
+	RateDivisor int `json:"rate_divisor,omitempty"`
+}
+
+// RandomOutages parameterises the seeded outage generator: count outages on
+// uniformly chosen links, starting uniformly in [0, window_s] and repaired
+// after a uniform duration in [min_down_s, max_down_s].
+type RandomOutages struct {
+	// Seed drives the generator's private stream (default: the engine seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Count is how many down/up cycles to generate.
+	Count    int     `json:"count"`
+	WindowS  float64 `json:"window_s"`
+	MinDownS float64 `json:"min_down_s"`
+	MaxDownS float64 `json:"max_down_s"`
 }
 
 // seconds converts a seconds field to a sim.Duration.

@@ -677,6 +677,12 @@ const (
 	ErrMemExceeded EGPError = 5 // MEMEXCEEDED: permanently too small
 	ErrExpired     EGPError = 6 // EXPIRE: pair no longer available
 	ErrNoTime      EGPError = 7 // ERR_NOTIME: queue add timed out
+	// Robustness extensions beyond the paper's Figure 39 code set: the fault
+	// injection subsystem needs outage-killed work distinguishable from
+	// ordinary deadline misses, and the network layer needs a synchronous
+	// "no usable path" verdict distinguishable from an infeasible request.
+	ErrLinkDown EGPError = 8 // LINKDOWN: link went administratively down
+	ErrNoRoute  EGPError = 9 // NOROUTE: no path satisfies the fidelity floor
 )
 
 // String names the error code as in the paper.
@@ -698,6 +704,10 @@ func (e EGPError) String() string {
 		return "EXPIRE"
 	case ErrNoTime:
 		return "ERR_NOTIME"
+	case ErrLinkDown:
+		return "LINKDOWN"
+	case ErrNoRoute:
+		return "NOROUTE"
 	default:
 		return fmt.Sprintf("err(%d)", uint8(e))
 	}

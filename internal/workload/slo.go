@@ -15,13 +15,18 @@ type ClassAccount struct {
 	// Offered counts submitted CREATE requests; Rejected the synchronous
 	// rejects among them (queue full, infeasible fidelity).
 	Offered, Rejected uint64
+	// NoRoute counts, within Rejected, the synchronous no-route rejects
+	// (NOROUTE: unreachable endpoints or no path meeting the fidelity floor).
+	NoRoute uint64
 	// PairsRequested sums the pair counts of accepted requests.
 	PairsRequested uint64
 	// Pairs counts delivered pairs; Completed fully served requests.
 	Pairs, Completed uint64
-	// TimedOut counts requests that failed with TIMEOUT; Failed all other
-	// asynchronous failures.
-	TimedOut, Failed uint64
+	// TimedOut counts requests that failed with TIMEOUT; Outage requests
+	// killed by a link outage (LINKDOWN) — the fault injector's signature,
+	// kept apart from deadline misses; Failed all other asynchronous
+	// failures.
+	TimedOut, Outage, Failed uint64
 	// TTP collects per-pair time-to-pair observations in seconds (delivery
 	// time minus the request's CREATE time).
 	TTP metrics.Series
@@ -32,10 +37,12 @@ type ClassAccount struct {
 func (a *ClassAccount) Merge(other *ClassAccount) {
 	a.Offered += other.Offered
 	a.Rejected += other.Rejected
+	a.NoRoute += other.NoRoute
 	a.PairsRequested += other.PairsRequested
 	a.Pairs += other.Pairs
 	a.Completed += other.Completed
 	a.TimedOut += other.TimedOut
+	a.Outage += other.Outage
 	a.Failed += other.Failed
 	for _, v := range other.TTP.Values() {
 		a.TTP.Add(v)
@@ -43,7 +50,9 @@ func (a *ClassAccount) Merge(other *ClassAccount) {
 }
 
 // Terminal returns how many accepted requests reached a terminal state.
-func (a *ClassAccount) Terminal() uint64 { return a.Completed + a.TimedOut + a.Failed }
+func (a *ClassAccount) Terminal() uint64 {
+	return a.Completed + a.TimedOut + a.Outage + a.Failed
+}
 
 // Outstanding returns how many accepted requests are still in flight.
 func (a *ClassAccount) Outstanding() uint64 {
@@ -63,9 +72,12 @@ type ClassSLO struct {
 	Priority int
 	Offered  uint64
 	Rejected uint64
-	Pairs    uint64
-	// Completed / TimedOut / Failed partition the terminal requests.
-	Completed, TimedOut, Failed uint64
+	// NoRoute is the no-route share of Rejected.
+	NoRoute uint64
+	Pairs   uint64
+	// Completed / TimedOut / Outage / Failed partition the terminal requests;
+	// Outage isolates requests killed by link outages from deadline misses.
+	Completed, TimedOut, Outage, Failed uint64
 	// Outstanding requests were still in flight when the run ended.
 	Outstanding uint64
 	// Throughput is delivered pairs per simulated second.
@@ -99,9 +111,11 @@ func BuildSLO(classes []ClassSpec, accounts []*ClassAccount, oldestWait []float6
 			Priority:    c.Priority,
 			Offered:     a.Offered,
 			Rejected:    a.Rejected,
+			NoRoute:     a.NoRoute,
 			Pairs:       a.Pairs,
 			Completed:   a.Completed,
 			TimedOut:    a.TimedOut,
+			Outage:      a.Outage,
 			Failed:      a.Failed,
 			Outstanding: a.Outstanding(),
 			Throughput:  metrics.SafeRate(float64(a.Pairs), duration),
@@ -125,9 +139,9 @@ func BuildSLO(classes []ClassSpec, accounts []*ClassAccount, oldestWait []float6
 // SLOColumns is the canonical column set of the per-class SLO table printed
 // by the CLIs.
 var SLOColumns = []string{
-	"class", "prio", "offered", "rejected", "pairs", "completed",
-	"timeout", "failed", "inflight", "pairs/s", "ttp_p50(s)", "ttp_p99(s)",
-	"timeout_rate", "oldest_wait(s)", "starved",
+	"class", "prio", "offered", "rejected", "noroute", "pairs", "completed",
+	"timeout", "outage", "failed", "inflight", "pairs/s", "ttp_p50(s)",
+	"ttp_p99(s)", "timeout_rate", "oldest_wait(s)", "starved",
 }
 
 // Row renders the report as one table row matching SLOColumns.
@@ -141,9 +155,11 @@ func (s ClassSLO) Row() []string {
 		PriorityName(s.Priority),
 		fmt.Sprintf("%d", s.Offered),
 		fmt.Sprintf("%d", s.Rejected),
+		fmt.Sprintf("%d", s.NoRoute),
 		fmt.Sprintf("%d", s.Pairs),
 		fmt.Sprintf("%d", s.Completed),
 		fmt.Sprintf("%d", s.TimedOut),
+		fmt.Sprintf("%d", s.Outage),
 		fmt.Sprintf("%d", s.Failed),
 		fmt.Sprintf("%d", s.Outstanding),
 		fmt.Sprintf("%.3f", s.Throughput),
